@@ -1,0 +1,40 @@
+"""Figures 11 and 12: APP runtime and result quality as the binary-search slack β varies (NY).
+
+The paper sweeps β over {0.001, 0.01, 0.1, 0.3, 0.9}: a larger β lets the binary
+search terminate earlier (more candidate trees qualify), so runtime drops, and the
+approximation ratio (1-α)/(5+5β) loosens, so quality drops slightly.
+"""
+
+from __future__ import annotations
+
+from repro.core import APPSolver
+from repro.evaluation.reporting import format_series
+from repro.evaluation.sweeps import sweep_solver_parameter
+
+from benchmarks.conftest import NY_PARAMS
+
+BETA_VALUES = [0.001, 0.01, 0.1, 0.3, 0.9]
+
+
+def test_fig11_12_app_vs_beta(benchmark, ny_runner, ny_default_workload):
+    sweep = sweep_solver_parameter(
+        ny_runner,
+        "beta",
+        ny_default_workload,
+        lambda beta: APPSolver(alpha=NY_PARAMS["app_alpha"], beta=beta),
+        BETA_VALUES,
+    )
+    print()
+    print(format_series(sweep, "runtime", "Figure 11 (reproduced): APP runtime (s) vs beta, NY-like"))
+    print()
+    print(format_series(sweep, "weight", "Figure 12 (reproduced): APP region weight vs beta, NY-like"))
+
+    weights = [point.weights["APP"] for point in sweep.points]
+    # Paper shape: quality at the largest beta does not exceed quality at the smallest
+    # (the ratio loosens), and the small-beta settings saturate (0.001 ~ 0.01).
+    assert weights[-1] <= weights[0] * 1.05 + 1e-9
+    assert abs(weights[0] - weights[1]) <= 0.25 * max(weights[0], 1e-9)
+
+    instance = ny_runner.build(ny_default_workload[0])
+    solver = APPSolver(alpha=NY_PARAMS["app_alpha"], beta=0.1)
+    benchmark.pedantic(lambda: solver.solve(instance), rounds=1, iterations=1)

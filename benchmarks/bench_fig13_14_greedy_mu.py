@@ -1,0 +1,41 @@
+"""Figures 13 and 14: Greedy runtime and result quality as the balance parameter µ varies (NY).
+
+The paper sweeps µ over [0, 1]: µ = 0 ranks frontier nodes purely by weight, µ = 1
+purely by edge length, and the combined model in between is reported to beat both
+endpoints. Runtime is essentially flat (the expansion does the same amount of work
+regardless of µ) and two orders of magnitude below APP/TGEN.
+"""
+
+from __future__ import annotations
+
+from repro.core import GreedySolver
+from repro.evaluation.reporting import format_series
+from repro.evaluation.sweeps import sweep_solver_parameter
+
+MU_VALUES = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0]
+
+
+def test_fig13_14_greedy_vs_mu(benchmark, ny_runner, ny_default_workload):
+    sweep = sweep_solver_parameter(
+        ny_runner,
+        "mu",
+        ny_default_workload,
+        lambda mu: GreedySolver(mu=mu),
+        MU_VALUES,
+    )
+    print()
+    print(format_series(sweep, "runtime", "Figure 13 (reproduced): Greedy runtime (s) vs mu, NY-like"))
+    print()
+    print(format_series(sweep, "weight", "Figure 14 (reproduced): Greedy region weight vs mu, NY-like"))
+
+    weights = {point.x: point.weights["Greedy"] for point in sweep.points}
+    best_mixed = max(weights[x] for x in (0.2, 0.4, 0.6, 0.8))
+    # Paper shape: some mixed µ is at least as good as both pure strategies.
+    assert best_mixed >= max(weights[0.0], weights[1.0]) - 1e-9
+
+    runtimes = [point.runtimes["Greedy"] for point in sweep.points]
+    assert max(runtimes) < 0.5  # Greedy stays in the milliseconds range
+
+    instance = ny_runner.build(ny_default_workload[0])
+    solver = GreedySolver(mu=0.2)
+    benchmark.pedantic(lambda: solver.solve(instance), rounds=1, iterations=1)

@@ -1,0 +1,49 @@
+"""Figure 15: varying the query arguments on NY — runtime and relative ratio.
+
+Six sub-figures: (a, b) vary the number of query keywords 1–5, (c, d) vary the length
+constraint ∆ over 8–12 km, (e, f) vary the query-region size Λ over 80–120 km², each
+reporting the runtime of APP / TGEN / Greedy and the relative ratio of each algorithm
+against TGEN (the paper's accuracy measure). The ∆ and Λ axes are mapped through the
+bench spatial scale (see benchmarks/conftest.py); the printed tables show the paper's
+axis values.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.reporting import format_series
+from repro.evaluation.sweeps import sweep_query_arguments
+
+from benchmarks.conftest import NY_DEFAULTS, NY_PARAMS, default_solvers, workloads_for_axis
+
+AXES = [
+    ("keywords", [1, 2, 3, 4, 5], "Figure 15(a,b)"),
+    ("delta_km_paper", [8, 9, 10, 11, 12], "Figure 15(c,d)"),
+    ("lambda_km2_paper", [80, 90, 100, 110, 120], "Figure 15(e,f)"),
+]
+
+
+@pytest.mark.parametrize("axis,values,figure", AXES, ids=[a[0] for a in AXES])
+def test_fig15_vary_query_arguments(benchmark, ny_dataset, ny_runner, axis, values, figure):
+    settings = workloads_for_axis(ny_dataset, axis, values, NY_DEFAULTS, seed=100)
+    solvers = default_solvers(NY_PARAMS)
+    sweep = sweep_query_arguments(ny_runner, axis, settings, solvers, reference="TGEN")
+
+    print()
+    print(format_series(sweep, "runtime", f"{figure} (reproduced): runtime (s) vs {axis}, NY-like"))
+    print()
+    print(format_series(sweep, "ratio", f"{figure} (reproduced): relative ratio vs {axis}, NY-like"))
+
+    for point in sweep.points:
+        # Paper shape: Greedy is the fastest algorithm at every x-axis point, and APP
+        # keeps a high relative ratio (> 90 % in the paper; > 80 % at this scale).
+        assert point.runtimes["Greedy"] <= min(point.runtimes["APP"], point.runtimes["TGEN"])
+        assert point.ratios["APP"] >= 0.8
+        assert point.ratios["TGEN"] == pytest.approx(1.0)
+
+    # Benchmark one representative query at the default setting for the timing report.
+    representative = settings[len(settings) // 2][1][0]
+    instance = ny_runner.build(representative)
+    tgen = solvers[0]
+    benchmark.pedantic(lambda: tgen.solve(instance), rounds=1, iterations=1)

@@ -1,0 +1,49 @@
+"""Figure 16: varying the query arguments on USANW — runtime and relative ratio.
+
+The same three sweeps as Figure 15, on the sparser USANW-like dataset with the paper's
+USANW defaults (3 keywords, ∆ = 15 km, Λ = 150 km², α = 0.1 for APP, µ = 0.4 for
+Greedy). The paper reports the same trends as on NY, with Greedy's relative ratio
+dropping to roughly 40 %.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.reporting import format_series
+from repro.evaluation.sweeps import sweep_query_arguments
+
+from benchmarks.conftest import (
+    USANW_DEFAULTS,
+    USANW_PARAMS,
+    default_solvers,
+    workloads_for_axis,
+)
+
+AXES = [
+    ("keywords", [1, 2, 3, 4, 5], "Figure 16(a,b)"),
+    ("delta_km_paper", [13, 14, 15, 16, 17], "Figure 16(c,d)"),
+    ("lambda_km2_paper", [100, 125, 150, 175, 200], "Figure 16(e,f)"),
+]
+
+
+@pytest.mark.parametrize("axis,values,figure", AXES, ids=[a[0] for a in AXES])
+def test_fig16_vary_query_arguments(benchmark, usanw_dataset, usanw_runner, axis, values, figure):
+    settings = workloads_for_axis(usanw_dataset, axis, values, USANW_DEFAULTS, seed=200)
+    solvers = default_solvers(USANW_PARAMS)
+    sweep = sweep_query_arguments(usanw_runner, axis, settings, solvers, reference="TGEN")
+
+    print()
+    print(format_series(sweep, "runtime", f"{figure} (reproduced): runtime (s) vs {axis}, USANW-like"))
+    print()
+    print(format_series(sweep, "ratio", f"{figure} (reproduced): relative ratio vs {axis}, USANW-like"))
+
+    for point in sweep.points:
+        assert point.runtimes["Greedy"] <= min(point.runtimes["APP"], point.runtimes["TGEN"])
+        assert point.ratios["APP"] >= 0.75
+        assert point.ratios["TGEN"] == pytest.approx(1.0)
+
+    representative = settings[len(settings) // 2][1][0]
+    instance = usanw_runner.build(representative)
+    tgen = solvers[0]
+    benchmark.pedantic(lambda: tgen.solve(instance), rounds=1, iterations=1)

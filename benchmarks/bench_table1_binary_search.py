@@ -1,0 +1,51 @@
+"""Table 1: the binary-search procedure of APP (Section 4.2.2, Example 4).
+
+The paper's Table 1 is a didactic trace of Function binarySearch — the evolving lower
+bound L, upper bound U, probed quota X, the candidate tree's length under X, and under
+(1+β)X. This bench reruns the procedure on a real query over the NY-like dataset and
+prints the trace in the same column layout, and times one full binary search.
+"""
+
+from __future__ import annotations
+
+from repro.core import APPSolver, build_instance
+from repro.evaluation.reporting import format_table
+
+from benchmarks.conftest import NY_PARAMS
+
+
+def test_table1_binary_search_trace(benchmark, ny_runner, ny_default_workload):
+    query = ny_default_workload[0]
+    instance = ny_runner.build(query)
+    solver = APPSolver(alpha=NY_PARAMS["app_alpha"], beta=0.5)
+
+    trace = benchmark.pedantic(
+        lambda: solver.trace_binary_search(instance), rounds=1, iterations=1
+    )
+
+    rows = []
+    for row in trace.rows():
+        rows.append(
+            [
+                row["step"],
+                round(row["L"], 1),
+                round(row["U"], 1),
+                round(row["X"], 1),
+                "-" if row["TC.l"] is None else round(row["TC.l"], 1),
+                "-" if row["(1+beta)X"] is None else round(row["(1+beta)X"], 1),
+                "-" if row["TC'.l"] is None else round(row["TC'.l"], 1),
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["step", "L", "U", "X", "TC.l", "1.5X", "TC'.l"],
+            rows,
+            title="Table 1 (reproduced): binary search trace on an NY-like query "
+            f"(keywords={query.keywords}, delta={query.delta:.0f} m)",
+        )
+    )
+    assert len(trace) >= 1
+    # The invariant behind Table 1: L never exceeds U, and X always lies between them.
+    for row in trace.rows():
+        assert row["L"] <= row["X"] <= row["U"]

@@ -1,0 +1,70 @@
+"""repro — a reproduction of "Retrieving Regions of Interest for User Exploration".
+
+The library implements the length-constrained maximum-sum region (LCMSR) query of
+Cao, Cong, Jensen and Yiu (PVLDB 7(9), 2014) together with every substrate the paper
+depends on: the road-network graph model, geo-textual objects, TF-IDF text relevance,
+the grid + inverted-list (+ B+-tree) index, the node-weight scaling technique, a
+GW-based node-weighted k-MST solver, the APP / TGEN / Greedy algorithms, the top-k
+extension, an exact oracle for small inputs and the MaxRS / clustering baselines.
+
+Quick start::
+
+    from repro import LCMSREngine, build_ny_like
+
+    dataset = build_ny_like()
+    engine = LCMSREngine(dataset.network, dataset.corpus)
+    result = engine.query(["cafe", "restaurant"], delta=2000.0)
+    print(result.region)
+
+See README.md for the architecture overview and DESIGN.md for the paper-to-module map.
+"""
+
+from repro.engine import LCMSREngine
+from repro.core import (
+    APPSolver,
+    ExactSolver,
+    GreedySolver,
+    LCMSRQuery,
+    ProblemInstance,
+    Region,
+    RegionResult,
+    RegionTuple,
+    ScalingContext,
+    TGENSolver,
+    TopKResult,
+    build_instance,
+)
+from repro.network import RoadNetwork, Rectangle
+from repro.objects import GeoTextualObject, ObjectCorpus, map_objects_to_network
+from repro.index import GridIndex
+from repro.baselines import MaxRSSolver
+from repro.datasets import build_ny_like, build_usanw_like, generate_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LCMSREngine",
+    "LCMSRQuery",
+    "Region",
+    "RegionTuple",
+    "RegionResult",
+    "TopKResult",
+    "ProblemInstance",
+    "build_instance",
+    "ScalingContext",
+    "APPSolver",
+    "TGENSolver",
+    "GreedySolver",
+    "ExactSolver",
+    "MaxRSSolver",
+    "RoadNetwork",
+    "Rectangle",
+    "GeoTextualObject",
+    "ObjectCorpus",
+    "map_objects_to_network",
+    "GridIndex",
+    "build_ny_like",
+    "build_usanw_like",
+    "generate_workload",
+    "__version__",
+]

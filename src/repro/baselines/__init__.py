@@ -1,0 +1,14 @@
+"""Baselines the paper compares against or discusses.
+
+* :mod:`repro.baselines.maxrs` — the maximum range-sum query over fixed-size
+  rectangles (Choi et al. 2012, Tao et al. 2013), used in the paper's Section 7.5
+  quality comparison.
+* :mod:`repro.baselines.clustering` — the query-independent clustering strawman the
+  paper dismisses in Section 2 (Figure 3); included so the drawback can be measured
+  rather than asserted.
+"""
+
+from repro.baselines.maxrs import MaxRSSolver, MaxRSResult
+from repro.baselines.clustering import SpatialTextualClustering, Cluster
+
+__all__ = ["MaxRSSolver", "MaxRSResult", "SpatialTextualClustering", "Cluster"]

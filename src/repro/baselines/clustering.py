@@ -1,0 +1,194 @@
+"""Query-independent spatio-textual clustering (the strawman of paper Section 2).
+
+The paper argues that pre-clustering objects and returning the most query-relevant
+cluster is a poor substitute for LCMSR queries because (a) clusters group objects that
+are similar *to each other* rather than relevant to the query, (b) the number and size
+of clusters are fixed before any query arrives, and (c) clusters need not satisfy the
+query's length constraint (Figure 3). This module implements exactly that baseline —
+k-means over object locations with an optional textual component — so the drawback can
+be quantified in tests and the comparison benchmark instead of only being asserted.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import SolverError
+from repro.objects.corpus import ObjectCorpus
+from repro.objects.geoobject import GeoTextualObject
+from repro.textindex.vector_space import VectorSpaceModel
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """One pre-computed cluster of objects.
+
+    Attributes:
+        cluster_id: Index of the cluster.
+        object_ids: Identifiers of the member objects.
+        centroid: The spatial centroid of the members.
+    """
+
+    cluster_id: int
+    object_ids: Tuple[int, ...]
+    centroid: Tuple[float, float]
+
+    @property
+    def size(self) -> int:
+        """Number of objects in the cluster."""
+        return len(self.object_ids)
+
+
+class SpatialTextualClustering:
+    """K-means clustering of geo-textual objects, computed once, query-independent.
+
+    Args:
+        corpus: The objects to cluster.
+        num_clusters: The fixed number of clusters (the paper's point: this cannot be
+            chosen per query).
+        text_weight: Relative weight of the textual similarity term when assigning
+            objects to clusters (0 gives pure spatial k-means). Textual similarity is
+            measured against the cluster's aggregated term profile with a cosine
+            overlap on the top terms.
+        seed: Seed for centroid initialisation.
+        max_iterations: K-means iteration cap.
+    """
+
+    def __init__(
+        self,
+        corpus: ObjectCorpus,
+        num_clusters: int = 8,
+        text_weight: float = 0.0,
+        seed: int = 13,
+        max_iterations: int = 25,
+    ) -> None:
+        if num_clusters < 1:
+            raise SolverError(f"num_clusters must be >= 1, got {num_clusters}")
+        if not 0.0 <= text_weight <= 1.0:
+            raise SolverError(f"text_weight must be in [0, 1], got {text_weight}")
+        if len(corpus) == 0:
+            raise SolverError("cannot cluster an empty corpus")
+        self._corpus = corpus
+        self._num_clusters = min(num_clusters, len(corpus))
+        self._text_weight = text_weight
+        self._rng = random.Random(seed)
+        self._max_iterations = max_iterations
+        self._vsm = VectorSpaceModel(corpus)
+        self._clusters: List[Cluster] = []
+        self._fit()
+
+    # ------------------------------------------------------------------ offline
+    def _fit(self) -> None:
+        objects = list(self._corpus)
+        centroids = [
+            (obj.x, obj.y) for obj in self._rng.sample(objects, self._num_clusters)
+        ]
+        extent = self._spatial_extent(objects)
+        assignment: Dict[int, int] = {}
+        cluster_terms: List[Dict[str, float]] = [{} for _ in centroids]
+        for _ in range(self._max_iterations):
+            new_assignment: Dict[int, int] = {}
+            for obj in objects:
+                best_cluster = min(
+                    range(len(centroids)),
+                    key=lambda index: self._distance(obj, centroids[index], cluster_terms[index], extent),
+                )
+                new_assignment[obj.object_id] = best_cluster
+            if new_assignment == assignment:
+                break
+            assignment = new_assignment
+            centroids, cluster_terms = self._recompute(objects, assignment, len(centroids))
+        self._clusters = self._materialise(objects, assignment, centroids)
+
+    def _spatial_extent(self, objects: Sequence[GeoTextualObject]) -> float:
+        xs = [obj.x for obj in objects]
+        ys = [obj.y for obj in objects]
+        return max(max(xs) - min(xs), max(ys) - min(ys), 1e-9)
+
+    def _distance(
+        self,
+        obj: GeoTextualObject,
+        centroid: Tuple[float, float],
+        terms: Mapping[str, float],
+        extent: float,
+    ) -> float:
+        spatial = math.hypot(obj.x - centroid[0], obj.y - centroid[1]) / extent
+        if self._text_weight <= 0:
+            return spatial
+        overlap = sum(terms.get(term, 0.0) for term in obj.keywords)
+        norm = sum(terms.values()) or 1.0
+        textual = 1.0 - overlap / norm
+        return (1.0 - self._text_weight) * spatial + self._text_weight * textual
+
+    def _recompute(
+        self,
+        objects: Sequence[GeoTextualObject],
+        assignment: Mapping[int, int],
+        count: int,
+    ) -> Tuple[List[Tuple[float, float]], List[Dict[str, float]]]:
+        sums = [[0.0, 0.0, 0] for _ in range(count)]
+        terms: List[Dict[str, float]] = [{} for _ in range(count)]
+        for obj in objects:
+            cluster = assignment[obj.object_id]
+            sums[cluster][0] += obj.x
+            sums[cluster][1] += obj.y
+            sums[cluster][2] += 1
+            for term, frequency in obj.keywords.items():
+                terms[cluster][term] = terms[cluster].get(term, 0.0) + frequency
+        centroids: List[Tuple[float, float]] = []
+        for index, (sx, sy, n) in enumerate(sums):
+            if n == 0:
+                # Re-seed an empty cluster at a random object to keep k clusters alive.
+                seed_obj = self._rng.choice(objects)
+                centroids.append((seed_obj.x, seed_obj.y))
+            else:
+                centroids.append((sx / n, sy / n))
+        return centroids, terms
+
+    def _materialise(
+        self,
+        objects: Sequence[GeoTextualObject],
+        assignment: Mapping[int, int],
+        centroids: Sequence[Tuple[float, float]],
+    ) -> List[Cluster]:
+        members: Dict[int, List[int]] = {index: [] for index in range(len(centroids))}
+        for obj in objects:
+            members[assignment.get(obj.object_id, 0)].append(obj.object_id)
+        clusters = []
+        for index, object_ids in members.items():
+            clusters.append(
+                Cluster(
+                    cluster_id=index,
+                    object_ids=tuple(sorted(object_ids)),
+                    centroid=centroids[index],
+                )
+            )
+        return clusters
+
+    # ------------------------------------------------------------------ online
+    @property
+    def clusters(self) -> List[Cluster]:
+        """The precomputed clusters."""
+        return list(self._clusters)
+
+    def best_cluster(self, keywords: Iterable[str]) -> Cluster:
+        """Return the cluster with the largest total text relevance to ``keywords``.
+
+        This is the query-time behaviour of the strawman: the clusters are fixed, only
+        the choice among them depends on the query.
+        """
+        keyword_list = list(keywords)
+        query = self._vsm.query_vector(keyword_list)
+
+        def relevance(cluster: Cluster) -> float:
+            return sum(self._vsm.score(object_id, query) for object_id in cluster.object_ids)
+
+        return max(self._clusters, key=relevance)
+
+    def cluster_relevance(self, cluster: Cluster, keywords: Iterable[str]) -> float:
+        """Total text relevance of a cluster's members to ``keywords``."""
+        query = self._vsm.query_vector(list(keywords))
+        return sum(self._vsm.score(object_id, query) for object_id in cluster.object_ids)

@@ -1,0 +1,51 @@
+"""Core LCMSR machinery: the paper's primary contribution.
+
+Data model
+    :class:`LCMSRQuery` (Definition 3), :class:`Region` (Definition 2),
+    :class:`RegionTuple` (Definition 4), :class:`ProblemInstance` (the windowed
+    weighted graph every solver consumes) and :class:`RegionResult`.
+
+Algorithms
+    * :class:`~repro.core.app.APPSolver` — the (5+ε)-approximation of Section 4,
+      built on node-weight scaling (Section 4.1), the GW-based node-weighted k-MST
+      solver (:mod:`repro.core.kmst`) and the findOptTree dynamic program.
+    * :class:`~repro.core.tgen.TGENSolver` — the tuple-generation heuristic of
+      Section 5.
+    * :class:`~repro.core.greedy.GreedySolver` — the greedy expansion of Section 6.1.
+    * :class:`~repro.core.exact.ExactSolver` — a brute-force oracle for small inputs
+      (not in the paper; used as ground truth in tests and accuracy benches).
+    * Top-k variants of all of the above (Section 6.2) via ``solve_topk``.
+"""
+
+from repro.core.query import LCMSRQuery
+from repro.core.region import Region
+from repro.core.tuples import RegionTuple, TupleArray
+from repro.core.result import RegionResult, TopKResult
+from repro.core.scaling import ScalingContext
+from repro.core.instance import ProblemInstance, build_instance
+from repro.core.app import APPSolver, BinarySearchTrace
+from repro.core.tgen import TGENSolver
+from repro.core.greedy import GreedySolver
+from repro.core.exact import ExactSolver
+from repro.core.kmst import QuotaTreeSolver
+from repro.core.pcst import goemans_williamson_pcst, strong_prune
+
+__all__ = [
+    "LCMSRQuery",
+    "Region",
+    "RegionTuple",
+    "TupleArray",
+    "RegionResult",
+    "TopKResult",
+    "ScalingContext",
+    "ProblemInstance",
+    "build_instance",
+    "APPSolver",
+    "BinarySearchTrace",
+    "TGENSolver",
+    "GreedySolver",
+    "ExactSolver",
+    "QuotaTreeSolver",
+    "goemans_williamson_pcst",
+    "strong_prune",
+]

@@ -1,0 +1,183 @@
+"""An exact LCMSR oracle for small instances.
+
+The paper has no exact competitor (the problem is NP-hard, Theorem 1) and therefore
+reports accuracy relative to TGEN. For the reproduction we additionally provide a
+brute-force oracle usable on small windows: it enumerates every connected node subset
+of the window graph, computes the minimum length needed to connect the subset (the
+minimum spanning tree of the induced subgraph — a region never benefits from extra
+edges because only node weights count), and returns the feasible subset with the
+largest weight. Tests use it to validate APP/TGEN/Greedy accuracy against the true
+optimum, which is a stronger check than the paper could run.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.core.instance import ProblemInstance
+from repro.core.region import Region
+from repro.core.result import RegionResult, TopKResult
+from repro.exceptions import SolverError
+from repro.network.graph import RoadNetwork, edge_key
+
+
+class ExactSolver:
+    """Brute-force optimal LCMSR solver for small query windows.
+
+    Args:
+        max_nodes: Refuse instances whose window has more nodes than this (the
+            enumeration is exponential; 20 nodes ≈ one million subsets).
+    """
+
+    name = "Exact"
+
+    def __init__(self, max_nodes: int = 20) -> None:
+        self.max_nodes = max_nodes
+
+    def solve(self, instance: ProblemInstance) -> RegionResult:
+        """Return the optimal region (provably, for small windows)."""
+        start = time.perf_counter()
+        graph = instance.graph
+        if graph.num_nodes > self.max_nodes:
+            raise SolverError(
+                f"ExactSolver is limited to {self.max_nodes} nodes; "
+                f"the window has {graph.num_nodes}"
+            )
+        if not instance.has_relevant_nodes or graph.num_nodes == 0:
+            return RegionResult(Region.empty(), self.name, time.perf_counter() - start)
+        best = self._best_regions(instance, k=1)
+        runtime = time.perf_counter() - start
+        if not best:
+            return RegionResult(Region.empty(), self.name, runtime)
+        return RegionResult(best[0], self.name, runtime)
+
+    def solve_topk(self, instance: ProblemInstance, k: Optional[int] = None) -> TopKResult:
+        """Return the provably best ``k`` distinct regions for small windows."""
+        start = time.perf_counter()
+        k = k or instance.query.k
+        graph = instance.graph
+        if graph.num_nodes > self.max_nodes:
+            raise SolverError(
+                f"ExactSolver is limited to {self.max_nodes} nodes; "
+                f"the window has {graph.num_nodes}"
+            )
+        regions = self._best_regions(instance, k=k)
+        runtime = time.perf_counter() - start
+        results = [RegionResult(region, self.name, runtime) for region in regions]
+        return TopKResult(results, self.name, runtime)
+
+    # ------------------------------------------------------------------ enumeration
+    def _best_regions(self, instance: ProblemInstance, k: int) -> List[Region]:
+        graph = instance.graph
+        weights = instance.weights
+        delta = instance.query.delta
+        nodes = sorted(graph.node_ids())
+        candidates: List[Tuple[float, float, FrozenSet[int], FrozenSet[Tuple[int, int]]]] = []
+        for subset in _connected_subsets(graph, nodes):
+            mst = _induced_mst(graph, subset)
+            if mst is None:
+                continue
+            length, edges = mst
+            if length > delta + 1e-12:
+                continue
+            weight = sum(weights.get(node_id, 0.0) for node_id in subset)
+            if weight <= 0:
+                continue
+            candidates.append((weight, -length, frozenset(subset), frozenset(edges)))
+        candidates.sort(key=lambda item: (-item[0], item[1]))
+        regions: List[Region] = []
+        seen: Set[FrozenSet[int]] = set()
+        for weight, neg_length, node_set, edge_set in candidates:
+            if node_set in seen:
+                continue
+            seen.add(node_set)
+            regions.append(
+                Region(nodes=node_set, edges=edge_set, length=-neg_length, weight=weight)
+            )
+            if len(regions) >= k:
+                break
+        return regions
+
+
+def _connected_subsets(graph: RoadNetwork, nodes: List[int]):
+    """Yield every connected non-empty node subset of ``graph`` exactly once.
+
+    Uses the standard anchored enumeration: for each anchor ``r`` (in increasing id
+    order) it enumerates the connected subsets whose minimum node id is ``r``, growing
+    the subset one frontier node at a time. A branch that decides *not* to take a
+    frontier node forbids it for the rest of that branch, which is what guarantees
+    each subset is produced exactly once.
+    """
+    node_set = set(nodes)
+    for anchor in nodes:
+        allowed = {v for v in node_set if v >= anchor}
+        initial_frontier = sorted(
+            neighbor for neighbor in graph.neighbors(anchor) if neighbor in allowed
+        )
+        yield from _grow(graph, allowed, {anchor}, initial_frontier, set())
+
+
+def _grow(
+    graph: RoadNetwork,
+    allowed: Set[int],
+    subset: Set[int],
+    frontier: List[int],
+    forbidden: Set[int],
+):
+    yield frozenset(subset)
+    for index, candidate in enumerate(frontier):
+        if candidate in forbidden:
+            continue
+        # Everything earlier in the frontier is forbidden on this branch so that the
+        # same subset cannot be reached through a different insertion order.
+        branch_forbidden = forbidden | set(frontier[:index])
+        new_subset = subset | {candidate}
+        new_frontier = [v for v in frontier[index + 1 :] if v not in branch_forbidden]
+        present = set(new_frontier)
+        for neighbor in graph.neighbors(candidate):
+            if (
+                neighbor in allowed
+                and neighbor not in new_subset
+                and neighbor not in branch_forbidden
+                and neighbor not in present
+            ):
+                new_frontier.append(neighbor)
+                present.add(neighbor)
+        yield from _grow(graph, allowed, new_subset, new_frontier, branch_forbidden)
+
+
+def _induced_mst(
+    graph: RoadNetwork, subset: FrozenSet[int]
+) -> Optional[Tuple[float, List[Tuple[int, int]]]]:
+    """Return (length, edges) of the MST of the subgraph induced by ``subset``.
+
+    Returns ``None`` when the induced subgraph is not connected (such a subset cannot
+    form a region on its own).
+    """
+    members = list(subset)
+    if len(members) == 1:
+        return (0.0, [])
+    start = members[0]
+    in_tree: Set[int] = {start}
+    edges: List[Tuple[int, int]] = []
+    total = 0.0
+    heap: List[Tuple[float, int, int]] = []
+    for neighbor, length in graph.neighbor_items(start):
+        if neighbor in subset:
+            heapq.heappush(heap, (length, start, neighbor))
+    while heap and len(in_tree) < len(members):
+        length, u, v = heapq.heappop(heap)
+        if v in in_tree:
+            continue
+        in_tree.add(v)
+        edges.append(edge_key(u, v))
+        total += length
+        for neighbor, neighbor_length in graph.neighbor_items(v):
+            if neighbor in subset and neighbor not in in_tree:
+                heapq.heappush(heap, (neighbor_length, v, neighbor))
+    if len(in_tree) != len(members):
+        return None
+    return (total, edges)

@@ -1,0 +1,159 @@
+"""The solver input: a windowed, weighted road-network instance.
+
+Every LCMSR algorithm in the paper works on the same derived input: the sub-network
+induced by the nodes inside ``Q.Λ`` (``VQ``/``EQ``) together with the per-node query
+weights σ_v obtained from the index layer. :class:`ProblemInstance` packages exactly
+that, and :func:`build_instance` produces it either from the full indexing stack
+(grid index + object mapping) or from explicit node weights (unit tests, the paper's
+Figure 2 example).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional, Set
+
+from repro.core.query import LCMSRQuery
+from repro.exceptions import QueryError
+from repro.index.grid import GridIndex
+from repro.network.graph import RoadNetwork
+from repro.network.subgraph import Rectangle, induced_subgraph, nodes_in_rectangle
+from repro.objects.mapping import NodeObjectMap
+from repro.textindex.relevance import RelevanceScorer
+
+
+@dataclass
+class ProblemInstance:
+    """The windowed, weighted graph a solver consumes.
+
+    Attributes:
+        graph: The sub-network induced by the nodes inside ``Q.Λ`` (or the full
+            network when the query has no window).
+        weights: Positive node weights σ_v for the relevant nodes; nodes absent from
+            the mapping have weight 0.
+        query: The originating LCMSR query.
+        build_seconds: Time spent building the instance (index probing + windowing);
+            reported separately from solver runtime, mirroring the paper's offline /
+            online split.
+    """
+
+    graph: RoadNetwork
+    weights: Dict[int, float]
+    query: LCMSRQuery
+    build_seconds: float = 0.0
+
+    # ------------------------------------------------------------------ derived facts
+    @property
+    def num_candidate_nodes(self) -> int:
+        """``|VQ|``: the number of nodes inside the query window."""
+        return self.graph.num_nodes
+
+    @property
+    def num_candidate_edges(self) -> int:
+        """``|EQ|``: the number of edges with both endpoints inside the window."""
+        return self.graph.num_edges
+
+    @property
+    def has_relevant_nodes(self) -> bool:
+        """``True`` if at least one node has positive weight."""
+        return any(weight > 0 for weight in self.weights.values())
+
+    def weight_of(self, node_id: int) -> float:
+        """Return σ_v (0.0 for nodes without relevant objects)."""
+        return self.weights.get(node_id, 0.0)
+
+    def sigma_max(self) -> float:
+        """Return the largest node weight in the instance (0.0 if none)."""
+        return max(self.weights.values(), default=0.0)
+
+    def total_weight(self) -> float:
+        """Return the sum of all node weights in the instance."""
+        return sum(self.weights.values())
+
+    def relevant_nodes(self) -> Set[int]:
+        """Return the ids of nodes with positive weight."""
+        return {node_id for node_id, weight in self.weights.items() if weight > 0}
+
+    def restricted_to(self, node_ids: Iterable[int]) -> "ProblemInstance":
+        """Return a copy of the instance restricted to a node subset (used in tests)."""
+        keep = set(node_ids)
+        return ProblemInstance(
+            graph=self.graph.subgraph(keep),
+            weights={n: w for n, w in self.weights.items() if n in keep},
+            query=self.query,
+            build_seconds=self.build_seconds,
+        )
+
+
+def build_instance(
+    network: RoadNetwork,
+    query: LCMSRQuery,
+    grid_index: Optional[GridIndex] = None,
+    mapping: Optional[NodeObjectMap] = None,
+    scorer: Optional[RelevanceScorer] = None,
+    node_weights: Optional[Mapping[int, float]] = None,
+) -> ProblemInstance:
+    """Build the solver input for ``query`` over ``network``.
+
+    Exactly one source of node weights must be provided:
+
+    * ``grid_index`` + ``mapping`` — the paper's indexing path: the grid scores the
+      relevant objects inside ``Q.Λ`` via its inverted lists and the scores are
+      aggregated per mapped node; or
+    * ``scorer`` — score objects directly through a :class:`RelevanceScorer`
+      (bypasses the spatial index; used for correctness cross-checks); or
+    * ``node_weights`` — explicit per-node weights (unit tests, Figure 2 example,
+      rating-based scoring computed by the caller).
+
+    Returns:
+        The :class:`ProblemInstance` restricted to ``Q.Λ``.
+
+    Raises:
+        QueryError: If no weight source (or more than one) is given.
+    """
+    sources = sum(
+        1
+        for source in ((grid_index, mapping), scorer, node_weights)
+        if (source[0] is not None if isinstance(source, tuple) else source is not None)
+    )
+    if sources != 1:
+        raise QueryError(
+            "exactly one of (grid_index + mapping), scorer, or node_weights must be provided"
+        )
+    if (grid_index is None) != (mapping is None):
+        raise QueryError("grid_index and mapping must be provided together")
+
+    start = time.perf_counter()
+    if query.region is not None:
+        window_graph = induced_subgraph(network, query.region)
+    else:
+        window_graph = network.copy()
+    window_nodes = set(window_graph.node_ids())
+
+    weights: Dict[int, float]
+    if node_weights is not None:
+        weights = {
+            node_id: float(weight)
+            for node_id, weight in node_weights.items()
+            if node_id in window_nodes and weight > 0
+        }
+    elif scorer is not None:
+        weights = scorer.node_weights(
+            query.keywords, candidate_nodes=window_nodes, window=query.region
+        )
+    else:
+        assert grid_index is not None and mapping is not None
+        # A window-less query imposes no spatial restriction on the objects, so the
+        # probe window is the index's own extent (the corpus bounding box) rather than
+        # the network bounding box — objects can sit slightly off the road graph.
+        window = query.region or grid_index.extent
+        weights = grid_index.node_weights(
+            query.keywords, window, mapping, candidate_nodes=window_nodes
+        )
+    build_seconds = time.perf_counter() - start
+    return ProblemInstance(
+        graph=window_graph, weights=weights, query=query, build_seconds=build_seconds
+    )
+
+

@@ -1,0 +1,68 @@
+"""The LCMSR query type (paper Definition 3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Tuple
+
+from repro.exceptions import QueryError
+from repro.network.subgraph import Rectangle
+
+
+@dataclass(frozen=True)
+class LCMSRQuery:
+    """A length-constrained maximum-sum region query ``Q = <ψ, ∆, Λ>``.
+
+    Attributes:
+        keywords: The query keyword set ``Q.ψ`` (lower-cased, de-duplicated, order
+            preserved).
+        delta: The length constraint ``Q.∆``: the maximum total road-segment length of
+            the returned region, in the same units as edge lengths (meters for the
+            bundled datasets).
+        region: The rectangular region of interest ``Q.Λ``. ``None`` means "the whole
+            network", which several unit-level tests and the paper's Figure 2 example
+            use.
+        k: Number of regions to return for the top-k variant (Section 6.2); plain
+            LCMSR queries use ``k = 1``.
+    """
+
+    keywords: Tuple[str, ...]
+    delta: float
+    region: Optional[Rectangle] = None
+    k: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.keywords:
+            raise QueryError("an LCMSR query needs at least one keyword")
+        if self.delta < 0:
+            raise QueryError(f"the length constraint must be non-negative, got {self.delta}")
+        if self.k < 1:
+            raise QueryError(f"k must be at least 1, got {self.k}")
+
+    @staticmethod
+    def create(
+        keywords: Iterable[str],
+        delta: float,
+        region: Optional[Rectangle] = None,
+        k: int = 1,
+    ) -> "LCMSRQuery":
+        """Build a query from any keyword iterable (normalising and de-duplicating)."""
+        normalised = tuple(dict.fromkeys(k.strip().lower() for k in keywords if k.strip()))
+        return LCMSRQuery(keywords=normalised, delta=float(delta), region=region, k=k)
+
+    @property
+    def keyword_count(self) -> int:
+        """Number of distinct query keywords (the paper's ``|Q.ψ|``)."""
+        return len(self.keywords)
+
+    def with_delta(self, delta: float) -> "LCMSRQuery":
+        """Return a copy with a different length constraint (used in sweeps)."""
+        return LCMSRQuery(self.keywords, float(delta), self.region, self.k)
+
+    def with_region(self, region: Optional[Rectangle]) -> "LCMSRQuery":
+        """Return a copy with a different region of interest (used in sweeps)."""
+        return LCMSRQuery(self.keywords, self.delta, region, self.k)
+
+    def with_k(self, k: int) -> "LCMSRQuery":
+        """Return a copy asking for the top ``k`` regions."""
+        return LCMSRQuery(self.keywords, self.delta, self.region, k)

@@ -1,0 +1,138 @@
+"""Query workload generation (paper Section 7.1).
+
+The paper builds 5 query sets per dataset (1–5 keywords, 50 queries each): for every
+query a query area of a target size is picked "following the network distribution"
+(i.e. centred on a random node, so dense areas are queried more often), and the
+keywords are drawn from the terms that occur inside that area, proportionally to their
+in-area frequency. :class:`QueryWorkloadGenerator` reproduces that procedure and lets
+the benchmarks vary the three query arguments (|ψ|, ∆, Λ) exactly like Figures 15/16.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.query import LCMSRQuery
+from repro.datasets.synthetic import SyntheticDataset
+from repro.exceptions import DatasetError
+from repro.network.subgraph import Rectangle
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of one query set.
+
+    Attributes:
+        num_queries: Number of queries in the set (the paper uses 50).
+        num_keywords: Keywords per query (the paper sweeps 1–5, default 3).
+        delta: Length constraint ``Q.∆`` in meters.
+        area: Area of the query region ``Q.Λ`` in square meters.
+        seed: Seed making the workload reproducible.
+    """
+
+    num_queries: int = 50
+    num_keywords: int = 3
+    delta: float = 10_000.0
+    area: float = 100.0 * 1e6
+    seed: int = 7
+
+
+class QueryWorkloadGenerator:
+    """Generates LCMSR query workloads over a :class:`SyntheticDataset`."""
+
+    def __init__(self, dataset: SyntheticDataset) -> None:
+        self._dataset = dataset
+        self._nodes = list(dataset.network.nodes())
+        if not self._nodes:
+            raise DatasetError("cannot generate queries over an empty network")
+
+    def generate(self, spec: WorkloadSpec) -> List[LCMSRQuery]:
+        """Generate one query set according to ``spec``.
+
+        Query areas whose objects expose fewer distinct keywords than requested are
+        re-drawn (up to a bounded number of attempts), mirroring the paper's implicit
+        requirement that each query's keywords actually occur inside its area.
+        """
+        rng = random.Random(spec.seed)
+        queries: List[LCMSRQuery] = []
+        attempts = 0
+        max_attempts = 50 * spec.num_queries
+        while len(queries) < spec.num_queries and attempts < max_attempts:
+            attempts += 1
+            region = self._sample_region(rng, spec.area)
+            keywords = self._sample_keywords(rng, region, spec.num_keywords)
+            if keywords is None:
+                continue
+            queries.append(
+                LCMSRQuery.create(keywords, delta=spec.delta, region=region)
+            )
+        if len(queries) < spec.num_queries:
+            raise DatasetError(
+                f"could only generate {len(queries)} of {spec.num_queries} queries; "
+                "the dataset may be too small for the requested query area"
+            )
+        return queries
+
+    # ------------------------------------------------------------------ helpers
+    def _sample_region(self, rng: random.Random, area: float) -> Rectangle:
+        """Pick a square query area centred on a random node (network distribution)."""
+        centre = rng.choice(self._nodes)
+        candidate = Rectangle.square_of_area(centre.x, centre.y, area)
+        # Clamp to the dataset extent so windows at the border do not fall off the map
+        # (the clamped window keeps its area by shifting inward when possible).
+        extent = self._dataset.extent
+        side = candidate.width
+        min_x = min(max(candidate.min_x, extent.min_x), max(extent.max_x - side, extent.min_x))
+        min_y = min(max(candidate.min_y, extent.min_y), max(extent.max_y - side, extent.min_y))
+        return Rectangle(min_x, min_y, min_x + side, min_y + side)
+
+    def _sample_keywords(
+        self, rng: random.Random, region: Rectangle, count: int
+    ) -> Optional[List[str]]:
+        """Draw ``count`` distinct keywords by in-area frequency, or ``None`` if scarce."""
+        frequencies = self._dataset.corpus.terms_in_rectangle(region)
+        if len(frequencies) < count:
+            return None
+        terms = list(frequencies.keys())
+        weights = [frequencies[t] for t in terms]
+        chosen: List[str] = []
+        available = list(zip(terms, weights))
+        for _ in range(count):
+            total = sum(weight for _, weight in available)
+            if total <= 0:
+                return None
+            pick = rng.uniform(0, total)
+            running = 0.0
+            for index, (term, weight) in enumerate(available):
+                running += weight
+                if running >= pick:
+                    chosen.append(term)
+                    del available[index]
+                    break
+        return chosen if len(chosen) == count else None
+
+
+def generate_workload(
+    dataset: SyntheticDataset,
+    num_queries: int = 50,
+    num_keywords: int = 3,
+    delta: float = 10_000.0,
+    area_km2: float = 100.0,
+    seed: int = 7,
+) -> List[LCMSRQuery]:
+    """Convenience wrapper around :class:`QueryWorkloadGenerator`.
+
+    Args:
+        area_km2: Query-area size in km² (the unit the paper reports); converted to m².
+    """
+    generator = QueryWorkloadGenerator(dataset)
+    spec = WorkloadSpec(
+        num_queries=num_queries,
+        num_keywords=num_keywords,
+        delta=delta,
+        area=area_km2 * 1e6,
+        seed=seed,
+    )
+    return generator.generate(spec)

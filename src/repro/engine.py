@@ -1,0 +1,143 @@
+"""High-level facade: build the indexes once, then ask LCMSR queries by name.
+
+:class:`LCMSREngine` is the entry point application code (and the examples) should
+use. It owns a road network and an object corpus, wires up the object → node mapping,
+the grid + inverted-list index and the relevance scorer, and exposes ``query`` /
+``query_topk`` calls that accept plain keywords and return :class:`Region` results,
+dispatching to APP, TGEN or Greedy by name.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Union
+
+from repro.core.app import APPSolver
+from repro.core.exact import ExactSolver
+from repro.core.greedy import GreedySolver
+from repro.core.instance import ProblemInstance, build_instance
+from repro.core.query import LCMSRQuery
+from repro.core.result import RegionResult, TopKResult
+from repro.core.tgen import TGENSolver
+from repro.exceptions import QueryError
+from repro.index.grid import GridIndex
+from repro.network.graph import RoadNetwork
+from repro.network.subgraph import Rectangle
+from repro.objects.corpus import ObjectCorpus
+from repro.objects.mapping import NodeObjectMap, map_objects_to_network
+from repro.textindex.relevance import RelevanceScorer, ScoringMode
+from repro.textindex.vector_space import VectorSpaceModel
+
+SolverUnion = Union[APPSolver, TGENSolver, GreedySolver, ExactSolver]
+
+
+class LCMSREngine:
+    """Index a dataset once and answer LCMSR queries.
+
+    Args:
+        network: The road network.
+        corpus: The geo-textual objects.
+        grid_resolution: Resolution of the spatial grid index.
+        scoring_mode: Per-object weight definition (text relevance by default).
+        default_algorithm: Algorithm used when a query does not name one
+            ("tgen" — the paper's recommendation; "app" and "greedy" also accepted).
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        corpus: ObjectCorpus,
+        grid_resolution: int = 48,
+        scoring_mode: ScoringMode = ScoringMode.TEXT_RELEVANCE,
+        default_algorithm: str = "tgen",
+    ) -> None:
+        self._network = network
+        self._corpus = corpus
+        self._mapping = map_objects_to_network(network, corpus)
+        self._vsm = VectorSpaceModel(corpus)
+        self._grid = GridIndex(corpus, resolution=grid_resolution, vsm=self._vsm)
+        self._scorer = RelevanceScorer(corpus, self._mapping, mode=scoring_mode)
+        self._scoring_mode = scoring_mode
+        self._default_algorithm = default_algorithm.lower()
+        self._solvers: Dict[str, SolverUnion] = {
+            "app": APPSolver(),
+            "tgen": TGENSolver(),
+            "greedy": GreedySolver(),
+            "exact": ExactSolver(),
+        }
+        if self._default_algorithm not in self._solvers:
+            raise QueryError(f"unknown default algorithm {default_algorithm!r}")
+
+    # ------------------------------------------------------------------ configuration
+    @property
+    def network(self) -> RoadNetwork:
+        """The indexed road network."""
+        return self._network
+
+    @property
+    def corpus(self) -> ObjectCorpus:
+        """The indexed object corpus."""
+        return self._corpus
+
+    @property
+    def mapping(self) -> NodeObjectMap:
+        """The object → node mapping."""
+        return self._mapping
+
+    @property
+    def grid(self) -> GridIndex:
+        """The grid + inverted-list index."""
+        return self._grid
+
+    def configure_solver(self, name: str, solver: SolverUnion) -> None:
+        """Replace or add a named solver (e.g. an APP with different α/β)."""
+        self._solvers[name.lower()] = solver
+
+    def solver(self, name: Optional[str] = None) -> SolverUnion:
+        """Return the solver registered under ``name`` (default algorithm if omitted)."""
+        key = (name or self._default_algorithm).lower()
+        if key not in self._solvers:
+            raise QueryError(f"unknown algorithm {name!r}; known: {sorted(self._solvers)}")
+        return self._solvers[key]
+
+    # ------------------------------------------------------------------ querying
+    def build_instance(self, query: LCMSRQuery) -> ProblemInstance:
+        """Build the solver input for a query (exposed for advanced callers)."""
+        if self._scoring_mode is ScoringMode.TEXT_RELEVANCE:
+            return build_instance(
+                self._network, query, grid_index=self._grid, mapping=self._mapping
+            )
+        # Rating / language-model scoring bypasses the TF-IDF postings.
+        return build_instance(self._network, query, scorer=self._scorer)
+
+    def query(
+        self,
+        keywords: Iterable[str],
+        delta: float,
+        region: Optional[Rectangle] = None,
+        algorithm: Optional[str] = None,
+    ) -> RegionResult:
+        """Answer one LCMSR query.
+
+        Args:
+            keywords: Query keywords ``Q.ψ``.
+            delta: Length constraint ``Q.∆`` (same unit as the network edge lengths).
+            region: Region of interest ``Q.Λ``; the whole network when omitted.
+            algorithm: "app", "tgen", "greedy" or "exact"; the engine default when
+                omitted.
+        """
+        lcmsr_query = LCMSRQuery.create(keywords, delta=delta, region=region)
+        instance = self.build_instance(lcmsr_query)
+        return self.solver(algorithm).solve(instance)
+
+    def query_topk(
+        self,
+        keywords: Iterable[str],
+        delta: float,
+        k: int,
+        region: Optional[Rectangle] = None,
+        algorithm: Optional[str] = None,
+    ) -> TopKResult:
+        """Answer a top-k LCMSR query (Section 6.2)."""
+        lcmsr_query = LCMSRQuery.create(keywords, delta=delta, region=region, k=k)
+        instance = self.build_instance(lcmsr_query)
+        return self.solver(algorithm).solve_topk(instance, k)

@@ -1,0 +1,62 @@
+"""Plain-text rendering of experiment results (the rows/series the paper's figures show)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.evaluation.sweeps import ParameterSweep
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: Optional[str] = None
+) -> str:
+    """Render a simple fixed-width table.
+
+    Args:
+        headers: Column headers.
+        rows: Row values; floats are formatted to four significant decimals.
+        title: Optional title line printed above the table.
+
+    Returns:
+        The table as a single string (callers print or write it).
+    """
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    text_rows = [[fmt(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in text_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(sweep: ParameterSweep, measure: str, title: Optional[str] = None) -> str:
+    """Render one measure of a sweep as a table with one column per algorithm.
+
+    Args:
+        sweep: The populated sweep.
+        measure: ``"runtime"``, ``"weight"`` or ``"ratio"``.
+        title: Optional title; defaults to ``"<measure> vs <axis>"``.
+
+    Returns:
+        The formatted table.
+    """
+    algorithms = sweep.algorithms()
+    headers = [sweep.axis] + algorithms
+    rows: List[List[object]] = []
+    for point in sweep.points:
+        source = {"runtime": point.runtimes, "weight": point.weights, "ratio": point.ratios}[
+            measure
+        ]
+        rows.append([point.x] + [source.get(name, float("nan")) for name in algorithms])
+    return format_table(headers, rows, title or f"{measure} vs {sweep.axis}")

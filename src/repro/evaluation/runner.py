@@ -1,0 +1,120 @@
+"""Running query workloads through the solvers and collecting per-query outcomes."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Protocol, Sequence
+
+from repro.core.instance import ProblemInstance, build_instance
+from repro.core.query import LCMSRQuery
+from repro.core.result import RegionResult
+from repro.datasets.synthetic import SyntheticDataset
+from repro.evaluation.metrics import average_relative_ratio, mean
+
+
+class LCMSRSolverProtocol(Protocol):
+    """Structural type of an LCMSR solver (APP / TGEN / Greedy / Exact)."""
+
+    name: str
+
+    def solve(self, instance: ProblemInstance) -> RegionResult:  # pragma: no cover
+        ...
+
+
+@dataclass
+class QueryOutcome:
+    """One (query, algorithm) execution."""
+
+    query: LCMSRQuery
+    result: RegionResult
+
+    @property
+    def weight(self) -> float:
+        """Weight of the returned region."""
+        return self.result.weight
+
+    @property
+    def runtime(self) -> float:
+        """Solver runtime in seconds (excludes instance building)."""
+        return self.result.runtime_seconds
+
+
+@dataclass
+class AlgorithmRun:
+    """All outcomes of one algorithm over one query workload."""
+
+    algorithm: str
+    outcomes: List[QueryOutcome] = field(default_factory=list)
+
+    @property
+    def mean_runtime(self) -> float:
+        """Mean solver runtime over the workload, in seconds."""
+        return mean([outcome.runtime for outcome in self.outcomes])
+
+    @property
+    def mean_weight(self) -> float:
+        """Mean region weight over the workload."""
+        return mean([outcome.weight for outcome in self.outcomes])
+
+    def weights(self) -> List[float]:
+        """Per-query region weights, in workload order."""
+        return [outcome.weight for outcome in self.outcomes]
+
+    def relative_ratio_against(self, reference: "AlgorithmRun") -> float:
+        """The paper's accuracy measure: mean per-query weight ratio vs. ``reference``."""
+        return average_relative_ratio(self.weights(), reference.weights())
+
+
+class ExperimentRunner:
+    """Builds instances once per query and runs any number of solvers over them.
+
+    Args:
+        dataset: The dataset to query.
+        use_grid_index: When ``True`` (default) node weights come from the grid +
+            inverted-list index, exactly as in the paper; when ``False`` the direct
+            scorer is used (useful for cross-checking the index).
+    """
+
+    def __init__(self, dataset: SyntheticDataset, use_grid_index: bool = True) -> None:
+        self._dataset = dataset
+        self._use_grid_index = use_grid_index
+
+    def build(self, query: LCMSRQuery) -> ProblemInstance:
+        """Build the solver input for one query."""
+        if self._use_grid_index:
+            return build_instance(
+                self._dataset.network,
+                query,
+                grid_index=self._dataset.grid,
+                mapping=self._dataset.mapping,
+            )
+        return build_instance(self._dataset.network, query, scorer=self._dataset.scorer)
+
+    def run(
+        self,
+        queries: Sequence[LCMSRQuery],
+        solvers: Sequence[LCMSRSolverProtocol],
+    ) -> Dict[str, AlgorithmRun]:
+        """Run every solver on every query.
+
+        Instances are built once per query and shared across solvers so that runtime
+        comparisons reflect only the algorithms, as in the paper.
+
+        Returns:
+            ``algorithm name → AlgorithmRun``.
+        """
+        runs: Dict[str, AlgorithmRun] = {solver.name: AlgorithmRun(solver.name) for solver in solvers}
+        for query in queries:
+            instance = self.build(query)
+            for solver in solvers:
+                result = solver.solve(instance)
+                runs[solver.name].outcomes.append(QueryOutcome(query=query, result=result))
+        return runs
+
+    def run_single(
+        self, query: LCMSRQuery, solver: LCMSRSolverProtocol
+    ) -> QueryOutcome:
+        """Run one solver on one query."""
+        instance = self.build(query)
+        return QueryOutcome(query=query, result=solver.solve(instance))

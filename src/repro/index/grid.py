@@ -1,0 +1,201 @@
+"""Uniform spatial grid index over geo-textual objects (paper Section 3).
+
+The grid partitions the dataset's bounding box into ``resolution x resolution`` cells.
+Each object is stored in the cell containing its location, and each cell maintains an
+:class:`~repro.index.inverted.InvertedIndex` over its objects' descriptions. At query
+time the grid reads only the cells overlapping ``Q.Λ``, scores the relevant objects
+via the cells' postings (Equation 2), and aggregates object scores into the per-node
+weights the LCMSR solvers consume.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.exceptions import IndexError_
+from repro.network.subgraph import Rectangle
+from repro.objects.corpus import ObjectCorpus
+from repro.objects.geoobject import GeoTextualObject
+from repro.objects.mapping import NodeObjectMap
+from repro.index.inverted import InvertedIndex
+from repro.textindex.vector_space import VectorSpaceModel, QueryVector
+
+
+class GridIndex:
+    """Uniform grid + per-cell inverted lists over an object corpus.
+
+    Args:
+        corpus: The dataset's objects.
+        resolution: Number of cells per axis (the grid has ``resolution**2`` cells).
+        vsm: Optional prebuilt vector-space model; built from the corpus if omitted.
+        extent: Optional bounding rectangle; the corpus bounding box if omitted.
+        bptree_order: Order of the per-cell B+-trees.
+    """
+
+    def __init__(
+        self,
+        corpus: ObjectCorpus,
+        resolution: int = 64,
+        vsm: Optional[VectorSpaceModel] = None,
+        extent: Optional[Rectangle] = None,
+        bptree_order: int = 64,
+    ) -> None:
+        if resolution < 1:
+            raise IndexError_(f"grid resolution must be >= 1, got {resolution}")
+        if len(corpus) == 0:
+            raise IndexError_("cannot build a grid index over an empty corpus")
+        self._corpus = corpus
+        self._resolution = resolution
+        self._vsm = vsm or VectorSpaceModel(corpus)
+        self._extent = extent or corpus.bounding_box()
+        # Guard against degenerate (zero-area) extents.
+        width = max(self._extent.width, 1e-9)
+        height = max(self._extent.height, 1e-9)
+        self._cell_width = width / resolution
+        self._cell_height = height / resolution
+        self._cells: Dict[Tuple[int, int], InvertedIndex] = {}
+        self._cell_objects: Dict[Tuple[int, int], List[int]] = {}
+        self._bptree_order = bptree_order
+        for obj in corpus:
+            key = self._cell_of(obj.x, obj.y)
+            cell = self._cells.get(key)
+            if cell is None:
+                cell = InvertedIndex(self._vsm, bptree_order=bptree_order)
+                self._cells[key] = cell
+                self._cell_objects[key] = []
+            cell.add_object(obj)
+            self._cell_objects[key].append(obj.object_id)
+
+    # ------------------------------------------------------------------ geometry
+    @property
+    def resolution(self) -> int:
+        """Cells per axis."""
+        return self._resolution
+
+    @property
+    def extent(self) -> Rectangle:
+        """The indexed spatial extent."""
+        return self._extent
+
+    @property
+    def num_nonempty_cells(self) -> int:
+        """Number of cells that contain at least one object."""
+        return len(self._cells)
+
+    @property
+    def vector_space_model(self) -> VectorSpaceModel:
+        """The vector-space model used for the postings weights."""
+        return self._vsm
+
+    def _cell_of(self, x: float, y: float) -> Tuple[int, int]:
+        col = int((x - self._extent.min_x) / self._cell_width)
+        row = int((y - self._extent.min_y) / self._cell_height)
+        # Clamp so points on the max border land in the last cell, and points outside
+        # the extent (possible when an explicit extent was passed) in the edge cells.
+        col = min(max(col, 0), self._resolution - 1)
+        row = min(max(row, 0), self._resolution - 1)
+        return (col, row)
+
+    def cell_rectangle(self, col: int, row: int) -> Rectangle:
+        """Return the spatial rectangle covered by cell ``(col, row)``."""
+        return Rectangle(
+            self._extent.min_x + col * self._cell_width,
+            self._extent.min_y + row * self._cell_height,
+            self._extent.min_x + (col + 1) * self._cell_width,
+            self._extent.min_y + (row + 1) * self._cell_height,
+        )
+
+    def _cells_overlapping(self, window: Rectangle) -> Iterable[Tuple[int, int]]:
+        col_low, row_low = self._cell_of(window.min_x, window.min_y)
+        col_high, row_high = self._cell_of(window.max_x, window.max_y)
+        for col in range(col_low, col_high + 1):
+            for row in range(row_low, row_high + 1):
+                if (col, row) in self._cells:
+                    yield (col, row)
+
+    # ------------------------------------------------------------------ queries
+    def objects_in_window(self, window: Rectangle) -> List[int]:
+        """Return ids of objects located inside ``window``."""
+        result: List[int] = []
+        for key in self._cells_overlapping(window):
+            cell_rect = self.cell_rectangle(*key)
+            fully_inside = (
+                window.min_x <= cell_rect.min_x
+                and window.min_y <= cell_rect.min_y
+                and window.max_x >= cell_rect.max_x
+                and window.max_y >= cell_rect.max_y
+            )
+            for object_id in self._cell_objects[key]:
+                if fully_inside:
+                    result.append(object_id)
+                else:
+                    obj = self._corpus.get(object_id)
+                    if window.contains(obj.x, obj.y):
+                        result.append(object_id)
+        return result
+
+    def score_objects(self, keywords: Iterable[str], window: Rectangle) -> Dict[int, float]:
+        """Score all objects inside ``window`` against ``keywords`` (Equation 2).
+
+        Only cells overlapping the window are touched and only postings of the query
+        terms are read, mirroring the paper's query-time index usage.
+
+        Returns:
+            ``object_id → σ`` for objects with positive score located inside the
+            window.
+        """
+        query: QueryVector = self._vsm.query_vector(keywords)
+        if not query.terms:
+            return {}
+        scores: Dict[int, float] = {}
+        for key in self._cells_overlapping(window):
+            cell = self._cells[key]
+            cell_scores = cell.accumulate_scores(dict(query.weights), query.norm)
+            if not cell_scores:
+                continue
+            cell_rect = self.cell_rectangle(*key)
+            fully_inside = (
+                window.min_x <= cell_rect.min_x
+                and window.min_y <= cell_rect.min_y
+                and window.max_x >= cell_rect.max_x
+                and window.max_y >= cell_rect.max_y
+            )
+            for object_id, score in cell_scores.items():
+                if not fully_inside:
+                    obj = self._corpus.get(object_id)
+                    if not window.contains(obj.x, obj.y):
+                        continue
+                scores[object_id] = scores.get(object_id, 0.0) + score
+        return scores
+
+    def node_weights(
+        self,
+        keywords: Iterable[str],
+        window: Rectangle,
+        mapping: NodeObjectMap,
+        candidate_nodes: Optional[Set[int]] = None,
+    ) -> Dict[int, float]:
+        """Aggregate object scores into per-node weights σ_v for the solvers.
+
+        Args:
+            keywords: Query keywords.
+            window: The query region ``Q.Λ``.
+            mapping: Object → node assignment.
+            candidate_nodes: Optional restriction to nodes inside ``Q.Λ`` (an object
+                inside the window can be mapped to a node just outside it; the paper
+                restricts weights to ``VQ``, so callers pass the windowed node set).
+
+        Returns:
+            ``node_id → σ_v`` for nodes with positive weight.
+        """
+        object_scores = self.score_objects(keywords, window)
+        weights: Dict[int, float] = {}
+        for object_id, score in object_scores.items():
+            node_id = mapping.object_to_node.get(object_id)
+            if node_id is None:
+                continue
+            if candidate_nodes is not None and node_id not in candidate_nodes:
+                continue
+            weights[node_id] = weights.get(node_id, 0.0) + score
+        return weights

@@ -1,0 +1,120 @@
+"""Inverted lists over object descriptions (paper Section 3).
+
+Each grid cell of the spatial index owns one :class:`InvertedIndex`. The index has a
+vocabulary of the distinct words of the objects stored in the cell, and for each word
+a postings list of ``(object_id, wto(t))`` pairs, where ``wto(t)`` is the normalised
+term weight of Equation 2 precomputed by the vector-space model. The postings are
+stored in a B+-tree keyed on ``(term, object_id)`` so that reading one term's postings
+is an ordered range scan — the same access pattern the paper's disk-based tree gives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.index.bptree import BPlusTree
+from repro.objects.geoobject import GeoTextualObject
+from repro.textindex.vector_space import VectorSpaceModel
+
+
+@dataclass(frozen=True)
+class Posting:
+    """One entry of a postings list: an object and its precomputed term weight."""
+
+    object_id: int
+    weight: float
+
+
+class InvertedIndex:
+    """Vocabulary + postings lists for the objects of one grid cell.
+
+    Args:
+        vsm: The corpus-wide vector-space model used to obtain ``wto(t)`` weights.
+        bptree_order: Order of the backing B+-tree.
+    """
+
+    def __init__(self, vsm: VectorSpaceModel, bptree_order: int = 64) -> None:
+        self._vsm = vsm
+        self._tree: BPlusTree[Tuple[str, int], float] = BPlusTree(order=bptree_order)
+        self._vocabulary: Set[str] = set()
+        self._num_objects = 0
+
+    # ------------------------------------------------------------------ build
+    def add_object(self, obj: GeoTextualObject) -> None:
+        """Add one object's description to the index."""
+        added_any = False
+        for term in obj.keywords:
+            weight = self._vsm.object_term_weight(obj.object_id, term)
+            if weight <= 0.0:
+                continue
+            self._tree.insert((term, obj.object_id), weight)
+            self._vocabulary.add(term)
+            added_any = True
+        if added_any:
+            self._num_objects += 1
+
+    def add_objects(self, objects: Iterable[GeoTextualObject]) -> None:
+        """Add every object from ``objects``."""
+        for obj in objects:
+            self.add_object(obj)
+
+    # ------------------------------------------------------------------ read
+    @property
+    def vocabulary(self) -> Set[str]:
+        """The distinct terms indexed in this cell."""
+        return set(self._vocabulary)
+
+    @property
+    def num_postings(self) -> int:
+        """Total number of postings stored."""
+        return len(self._tree)
+
+    @property
+    def num_objects(self) -> int:
+        """Number of distinct objects that contributed at least one posting."""
+        return self._num_objects
+
+    def postings(self, term: str) -> List[Posting]:
+        """Return the postings list of ``term`` (empty if the term is not indexed)."""
+        term = term.lower()
+        if term not in self._vocabulary:
+            return []
+        low = (term, -1)
+        high = (term, 2**63)
+        return [
+            Posting(object_id=key[1], weight=value)
+            for key, value in self._tree.range_scan(low, high)
+        ]
+
+    def candidate_objects(self, keywords: Iterable[str]) -> Set[int]:
+        """Return the ids of objects containing at least one query keyword."""
+        result: Set[int] = set()
+        for term in keywords:
+            for posting in self.postings(term):
+                result.add(posting.object_id)
+        return result
+
+    def accumulate_scores(
+        self, query_weights: Dict[str, float], query_norm: float
+    ) -> Dict[int, float]:
+        """Score all objects in this cell against a query (Equation 2).
+
+        Args:
+            query_weights: Per-term IDF weights ``w_{Q.ψ,t}`` of the query.
+            query_norm: The query normaliser ``W_{Q.ψ}``.
+
+        Returns:
+            ``object_id → σ(o.ψ, Q.ψ)`` for every object with a non-zero score.
+        """
+        accumulator: Dict[int, float] = {}
+        for term, query_weight in query_weights.items():
+            if query_weight <= 0.0:
+                continue
+            for posting in self.postings(term):
+                accumulator[posting.object_id] = (
+                    accumulator.get(posting.object_id, 0.0) + query_weight * posting.weight
+                )
+        if query_norm <= 0.0:
+            return {}
+        return {obj_id: score / query_norm for obj_id, score in accumulator.items() if score > 0.0}

@@ -1,0 +1,148 @@
+"""A small STR-packed R-tree over point data.
+
+The MaxRS baseline (Choi et al. 2012 / Tao et al. 2013) that the paper compares
+against in Section 7.5 is defined over objects indexed by an R-tree. This module
+provides a bulk-loaded (Sort-Tile-Recursive) R-tree with rectangular range queries,
+which is all the baseline and the grid-free code paths need. Points are stored as
+degenerate rectangles.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import IndexError_
+from repro.network.subgraph import Rectangle
+
+
+@dataclass(frozen=True)
+class RTreeEntry:
+    """A leaf entry: an item identifier with its point location."""
+
+    item_id: int
+    x: float
+    y: float
+
+
+class _RTreeNode:
+    __slots__ = ("mbr", "children", "entries")
+
+    def __init__(
+        self,
+        mbr: Rectangle,
+        children: Optional[List["_RTreeNode"]] = None,
+        entries: Optional[List[RTreeEntry]] = None,
+    ) -> None:
+        self.mbr = mbr
+        self.children = children or []
+        self.entries = entries or []
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+def _mbr_of_entries(entries: Sequence[RTreeEntry]) -> Rectangle:
+    xs = [e.x for e in entries]
+    ys = [e.y for e in entries]
+    return Rectangle(min(xs), min(ys), max(xs), max(ys))
+
+
+def _mbr_of_nodes(nodes: Sequence[_RTreeNode]) -> Rectangle:
+    return Rectangle(
+        min(n.mbr.min_x for n in nodes),
+        min(n.mbr.min_y for n in nodes),
+        max(n.mbr.max_x for n in nodes),
+        max(n.mbr.max_y for n in nodes),
+    )
+
+
+class RTree:
+    """Bulk-loaded STR R-tree over point entries.
+
+    Args:
+        entries: The points to index.
+        leaf_capacity: Maximum entries per leaf (and children per internal node).
+    """
+
+    def __init__(self, entries: Iterable[RTreeEntry], leaf_capacity: int = 32) -> None:
+        if leaf_capacity < 2:
+            raise IndexError_(f"R-tree leaf capacity must be >= 2, got {leaf_capacity}")
+        self._capacity = leaf_capacity
+        entry_list = list(entries)
+        self._size = len(entry_list)
+        self._root: Optional[_RTreeNode] = self._bulk_load(entry_list) if entry_list else None
+
+    def _bulk_load(self, entries: List[RTreeEntry]) -> _RTreeNode:
+        leaves = self._pack_leaves(entries)
+        nodes = leaves
+        while len(nodes) > 1:
+            nodes = self._pack_internal(nodes)
+        return nodes[0]
+
+    def _pack_leaves(self, entries: List[RTreeEntry]) -> List[_RTreeNode]:
+        capacity = self._capacity
+        num_leaves = math.ceil(len(entries) / capacity)
+        slices = max(1, math.ceil(math.sqrt(num_leaves)))
+        by_x = sorted(entries, key=lambda e: (e.x, e.y))
+        leaves: List[_RTreeNode] = []
+        slice_size = slices * capacity
+        for i in range(0, len(by_x), slice_size):
+            column = sorted(by_x[i : i + slice_size], key=lambda e: (e.y, e.x))
+            for j in range(0, len(column), capacity):
+                chunk = column[j : j + capacity]
+                leaves.append(_RTreeNode(_mbr_of_entries(chunk), entries=chunk))
+        return leaves
+
+    def _pack_internal(self, nodes: List[_RTreeNode]) -> List[_RTreeNode]:
+        capacity = self._capacity
+        num_parents = math.ceil(len(nodes) / capacity)
+        slices = max(1, math.ceil(math.sqrt(num_parents)))
+        by_x = sorted(nodes, key=lambda n: (n.mbr.center()[0], n.mbr.center()[1]))
+        parents: List[_RTreeNode] = []
+        slice_size = slices * capacity
+        for i in range(0, len(by_x), slice_size):
+            column = sorted(by_x[i : i + slice_size], key=lambda n: (n.mbr.center()[1],))
+            for j in range(0, len(column), capacity):
+                chunk = column[j : j + capacity]
+                parents.append(_RTreeNode(_mbr_of_nodes(chunk), children=chunk))
+        return parents
+
+    # ------------------------------------------------------------------ queries
+    def __len__(self) -> int:
+        return self._size
+
+    def range_query(self, window: Rectangle) -> List[RTreeEntry]:
+        """Return all entries whose point lies inside ``window``."""
+        if self._root is None:
+            return []
+        result: List[RTreeEntry] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if not window.intersects(node.mbr):
+                continue
+            if node.is_leaf:
+                for entry in node.entries:
+                    if window.contains(entry.x, entry.y):
+                        result.append(entry)
+            else:
+                stack.extend(node.children)
+        return result
+
+    def count_in(self, window: Rectangle) -> int:
+        """Return the number of entries inside ``window``."""
+        return len(self.range_query(window))
+
+    def height(self) -> int:
+        """Return the tree height (0 for an empty tree, 1 for a single leaf)."""
+        if self._root is None:
+            return 0
+        height = 1
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+            height += 1
+        return height

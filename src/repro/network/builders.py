@@ -1,0 +1,265 @@
+"""Synthetic road-network builders.
+
+The paper runs on two real road networks (New York City and the north-west USA) that
+are not shipped with this reproduction. The builders below create networks with the
+structural properties the LCMSR algorithms are sensitive to — metric edge lengths,
+low node degree (2–4), grid-like urban cores and sparser suburban fringes — so the
+experiment harness can reproduce the *shape* of the paper's results at laptop scale.
+Real DIMACS files can still be loaded through :mod:`repro.network.io`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional, Sequence, Tuple
+
+from repro.exceptions import GraphError
+from repro.network.graph import RoadNetwork
+
+
+def grid_network(
+    rows: int,
+    cols: int,
+    spacing: float = 100.0,
+    jitter: float = 0.0,
+    rng: Optional[random.Random] = None,
+) -> RoadNetwork:
+    """Build a rectangular grid network.
+
+    Node ``(r, c)`` receives identifier ``r * cols + c`` and coordinates
+    ``(c * spacing, r * spacing)`` (optionally jittered). Horizontal and vertical
+    neighbours are connected by edges whose lengths equal the Euclidean distance
+    between the (possibly jittered) embeddings.
+
+    Args:
+        rows: Number of grid rows (must be >= 1).
+        cols: Number of grid columns (must be >= 1).
+        spacing: Distance between adjacent grid points, in meters.
+        jitter: Maximum absolute coordinate perturbation applied per axis, in meters.
+        rng: Random generator used for jitter; a fresh seeded generator when omitted.
+
+    Returns:
+        The constructed :class:`RoadNetwork`.
+    """
+    if rows < 1 or cols < 1:
+        raise GraphError(f"grid dimensions must be positive, got {rows}x{cols}")
+    if spacing <= 0:
+        raise GraphError(f"grid spacing must be positive, got {spacing}")
+    rng = rng or random.Random(0)
+    network = RoadNetwork()
+    for r in range(rows):
+        for c in range(cols):
+            x = c * spacing
+            y = r * spacing
+            if jitter > 0:
+                x += rng.uniform(-jitter, jitter)
+                y += rng.uniform(-jitter, jitter)
+            network.add_node(r * cols + c, x, y)
+    for r in range(rows):
+        for c in range(cols):
+            node_id = r * cols + c
+            if c + 1 < cols:
+                network.add_edge(node_id, node_id + 1)
+            if r + 1 < rows:
+                network.add_edge(node_id, node_id + cols)
+    return network
+
+
+def manhattan_network(
+    rows: int,
+    cols: int,
+    spacing: float = 100.0,
+    diagonal_fraction: float = 0.05,
+    removal_fraction: float = 0.03,
+    jitter_fraction: float = 0.08,
+    seed: int = 7,
+) -> RoadNetwork:
+    """Build a Manhattan-style street grid with avenues, diagonals and missing blocks.
+
+    The generator starts from a jittered grid, removes a small fraction of interior
+    edges (closed streets, parks) while keeping the network connected, and adds a few
+    diagonal shortcuts (Broadway-style avenues). The result has the degree distribution
+    and metric structure of a dense downtown road network.
+
+    Args:
+        rows: Grid rows.
+        cols: Grid columns.
+        spacing: Block size in meters (Manhattan blocks are roughly 80 x 270 m; a
+            square 100 m default keeps densities comparable).
+        diagonal_fraction: Fraction of grid nodes that receive a diagonal shortcut.
+        removal_fraction: Fraction of edges removed (subject to staying connected).
+        jitter_fraction: Coordinate jitter as a fraction of ``spacing``.
+        seed: Seed for the internal random generator, for reproducibility.
+
+    Returns:
+        The constructed :class:`RoadNetwork`.
+    """
+    rng = random.Random(seed)
+    network = grid_network(rows, cols, spacing=spacing, jitter=spacing * jitter_fraction, rng=rng)
+
+    # Add diagonal avenues: each selected node connects to its down-right neighbour.
+    num_diagonals = int(diagonal_fraction * rows * cols)
+    for _ in range(num_diagonals):
+        r = rng.randrange(0, max(1, rows - 1))
+        c = rng.randrange(0, max(1, cols - 1))
+        u = r * cols + c
+        v = (r + 1) * cols + (c + 1)
+        if not network.has_edge(u, v):
+            network.add_edge(u, v)
+
+    # Remove a fraction of edges while preserving connectivity.
+    edges = list(network.edges())
+    rng.shuffle(edges)
+    to_remove = int(removal_fraction * len(edges))
+    removed = 0
+    for edge in edges:
+        if removed >= to_remove:
+            break
+        network.remove_edge(edge.u, edge.v)
+        if network.is_connected():
+            removed += 1
+        else:
+            network.add_edge(edge.u, edge.v, edge.length)
+    return network
+
+
+def random_geometric_network(
+    num_nodes: int,
+    extent: float = 10_000.0,
+    target_degree: float = 3.0,
+    seed: int = 11,
+) -> RoadNetwork:
+    """Build a sparse random geometric network resembling a rural / suburban road net.
+
+    Nodes are scattered uniformly over an ``extent`` x ``extent`` square and each node
+    is connected to its nearest unconnected neighbours until the average degree reaches
+    ``target_degree``; a spanning pass then guarantees connectivity. Edge lengths are
+    Euclidean, so the network is metric like a real road graph.
+
+    Args:
+        num_nodes: Number of nodes.
+        extent: Side length of the square embedding area, in meters.
+        target_degree: Desired average node degree (real road networks are ~2.5–3.5).
+        seed: Seed for the internal random generator.
+
+    Returns:
+        The constructed :class:`RoadNetwork`.
+    """
+    if num_nodes < 1:
+        raise GraphError("random_geometric_network needs at least one node")
+    rng = random.Random(seed)
+    network = RoadNetwork()
+    coords = []
+    for node_id in range(num_nodes):
+        x = rng.uniform(0.0, extent)
+        y = rng.uniform(0.0, extent)
+        network.add_node(node_id, x, y)
+        coords.append((x, y, node_id))
+
+    # Sort nodes on a space-filling-ish key (x then y) and connect near neighbours.
+    # A simple uniform-grid bucketing keeps this O(n * k) instead of O(n^2).
+    cell = max(extent / max(1.0, math.sqrt(num_nodes)), 1e-9)
+    buckets: dict[Tuple[int, int], list[int]] = {}
+    for x, y, node_id in coords:
+        buckets.setdefault((int(x // cell), int(y // cell)), []).append(node_id)
+
+    def nearby(node_id: int) -> list[int]:
+        node = network.node(node_id)
+        cx, cy = int(node.x // cell), int(node.y // cell)
+        out: list[int] = []
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                out.extend(buckets.get((cx + dx, cy + dy), ()))
+        return [other for other in out if other != node_id]
+
+    target_edges = int(target_degree * num_nodes / 2)
+    candidates: list[Tuple[float, int, int]] = []
+    for node_id in range(num_nodes):
+        node = network.node(node_id)
+        neighbours = nearby(node_id)
+        neighbours.sort(key=lambda other: network.euclidean(node_id, other))
+        for other in neighbours[:6]:
+            if node_id < other:
+                candidates.append((network.euclidean(node_id, other), node_id, other))
+    candidates.sort()
+    for dist, u, v in candidates:
+        if network.num_edges >= target_edges:
+            break
+        if not network.has_edge(u, v):
+            network.add_edge(u, v, dist)
+
+    # Connect remaining components through their closest node pairs.
+    components = network.connected_components()
+    while len(components) > 1:
+        base = components[0]
+        best: Tuple[float, int, int] | None = None
+        for other_component in components[1:]:
+            for u in base:
+                for v in other_component:
+                    d = network.euclidean(u, v)
+                    if best is None or d < best[0]:
+                        best = (d, u, v)
+        assert best is not None
+        network.add_edge(best[1], best[2], best[0])
+        components = network.connected_components()
+    return network
+
+
+def star_network(num_leaves: int, edge_length: float = 1.0, center_id: int = 0) -> RoadNetwork:
+    """Build a star graph: one centre node connected to ``num_leaves`` leaves.
+
+    Stars are the graphs the paper's Theorem 3 (knapsack reduction) uses, so they are
+    convenient both for unit tests and for the findOptTree DP's worst case.
+
+    Args:
+        num_leaves: Number of leaf nodes.
+        edge_length: Length of every centre-to-leaf edge.
+        center_id: Identifier of the centre node; leaves get ``center_id + 1, ...``.
+    """
+    if num_leaves < 0:
+        raise GraphError("num_leaves must be non-negative")
+    network = RoadNetwork()
+    network.add_node(center_id, 0.0, 0.0)
+    for i in range(num_leaves):
+        leaf_id = center_id + 1 + i
+        angle = 2.0 * math.pi * i / max(1, num_leaves)
+        network.add_node(leaf_id, edge_length * math.cos(angle), edge_length * math.sin(angle))
+        network.add_edge(center_id, leaf_id, edge_length)
+    return network
+
+
+def path_network(num_nodes: int, edge_length: float = 1.0) -> RoadNetwork:
+    """Build a path graph ``0 - 1 - 2 - ... - (n-1)`` with uniform edge lengths."""
+    if num_nodes < 1:
+        raise GraphError("path_network needs at least one node")
+    network = RoadNetwork()
+    for i in range(num_nodes):
+        network.add_node(i, i * edge_length, 0.0)
+    for i in range(num_nodes - 1):
+        network.add_edge(i, i + 1, edge_length)
+    return network
+
+
+def paper_example_network() -> RoadNetwork:
+    """Build the 6-node example graph of the paper's Figure 2.
+
+    Node ids are 1..6 matching ``v1``..``v6``; edge lengths are the figure's values
+    (3.1, 5, 4, 2.8, 3.4, 1.5, 3.2 — the figure draws seven segments). The node
+    weights of Figure 2 are *not* part of the graph; they are query-dependent scores
+    and are supplied by the tests that use this builder.
+    """
+    network = RoadNetwork()
+    # Coordinates are only for plotting; distances are given explicitly.
+    positions = {1: (0, 2), 2: (1, 2), 3: (2, 2), 4: (2, 0), 5: (1, 0), 6: (0.8, 1)}
+    for node_id, (x, y) in positions.items():
+        network.add_node(node_id, float(x), float(y))
+    network.add_edge(1, 2, 3.1)
+    network.add_edge(2, 3, 5.0)
+    network.add_edge(1, 5, 4.0)
+    network.add_edge(2, 6, 1.5)
+    network.add_edge(6, 5, 2.8)
+    network.add_edge(5, 4, 1.6)
+    network.add_edge(3, 4, 3.2)
+    network.add_edge(6, 4, 3.4)
+    return network

@@ -1,0 +1,136 @@
+"""Road-network readers and writers.
+
+The paper downloads its New York network from the DIMACS shortest-path challenge
+website, which distributes graphs as a pair of plain-text files: a ``.gr`` file with
+``a <u> <v> <length>`` arc lines and a ``.co`` file with ``v <id> <x> <y>`` coordinate
+lines. :func:`load_dimacs` reads that format (arcs are de-duplicated into undirected
+edges), so the reproduction can run on the real data when a user supplies it, and
+:func:`save_dimacs` writes it back so synthetic networks can be exported. A simpler
+whitespace edge-list format is supported for quick interchange with other tools.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.exceptions import DatasetError
+from repro.network.graph import RoadNetwork
+
+
+def load_dimacs(gr_path: str, co_path: str, length_scale: float = 1.0) -> RoadNetwork:
+    """Load a DIMACS ``.gr`` + ``.co`` file pair into a :class:`RoadNetwork`.
+
+    Args:
+        gr_path: Path to the graph (arc) file. Lines starting with ``a`` define arcs;
+            ``c`` lines are comments and ``p`` lines are headers (both ignored).
+        co_path: Path to the coordinate file. Lines starting with ``v`` define node
+            coordinates; DIMACS stores them as integers (longitude/latitude * 1e6),
+            which is preserved verbatim — callers may re-project afterwards.
+        length_scale: Multiplier applied to every arc length (DIMACS distance graphs
+            store lengths in decimeters or similar integer units; pass e.g. ``0.1`` to
+            convert to meters).
+
+    Returns:
+        The loaded network with undirected, de-duplicated edges.
+
+    Raises:
+        DatasetError: If either file is missing or malformed.
+    """
+    if not os.path.exists(co_path):
+        raise DatasetError(f"coordinate file not found: {co_path}")
+    if not os.path.exists(gr_path):
+        raise DatasetError(f"graph file not found: {gr_path}")
+
+    network = RoadNetwork()
+    with open(co_path, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            parts = line.split()
+            if not parts or parts[0] in ("c", "p"):
+                continue
+            if parts[0] != "v" or len(parts) != 4:
+                raise DatasetError(f"{co_path}:{line_no}: malformed coordinate line: {line!r}")
+            node_id = int(parts[1])
+            x = float(parts[2])
+            y = float(parts[3])
+            if node_id not in network:
+                network.add_node(node_id, x, y)
+
+    with open(gr_path, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            parts = line.split()
+            if not parts or parts[0] in ("c", "p"):
+                continue
+            if parts[0] != "a" or len(parts) != 4:
+                raise DatasetError(f"{gr_path}:{line_no}: malformed arc line: {line!r}")
+            u = int(parts[1])
+            v = int(parts[2])
+            length = float(parts[3]) * length_scale
+            if u == v:
+                continue
+            if u not in network or v not in network:
+                raise DatasetError(
+                    f"{gr_path}:{line_no}: arc references unknown node ({u}, {v})"
+                )
+            network.add_edge(u, v, length)
+    return network
+
+
+def save_dimacs(network: RoadNetwork, gr_path: str, co_path: str) -> None:
+    """Write a network as a DIMACS ``.gr`` + ``.co`` file pair.
+
+    Every undirected edge is emitted as two directed arcs, matching the convention of
+    the DIMACS challenge files the paper uses.
+    """
+    with open(co_path, "w", encoding="utf-8") as handle:
+        handle.write(f"p aux sp co {network.num_nodes}\n")
+        for node in network.nodes():
+            handle.write(f"v {node.node_id} {node.x:.6f} {node.y:.6f}\n")
+    with open(gr_path, "w", encoding="utf-8") as handle:
+        handle.write(f"p sp {network.num_nodes} {2 * network.num_edges}\n")
+        for edge in network.edges():
+            handle.write(f"a {edge.u} {edge.v} {edge.length:.6f}\n")
+            handle.write(f"a {edge.v} {edge.u} {edge.length:.6f}\n")
+
+
+def load_edge_list(path: str) -> RoadNetwork:
+    """Load a network from a simple whitespace edge-list file.
+
+    The expected format is one record per line:
+
+    * ``n <id> <x> <y>`` declares a node,
+    * ``e <u> <v> <length>`` declares an undirected edge,
+    * blank lines and lines starting with ``#`` are ignored.
+
+    Raises:
+        DatasetError: If the file is missing or a line cannot be parsed.
+    """
+    if not os.path.exists(path):
+        raise DatasetError(f"edge-list file not found: {path}")
+    network = RoadNetwork()
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            try:
+                if parts[0] == "n" and len(parts) == 4:
+                    network.add_node(int(parts[1]), float(parts[2]), float(parts[3]))
+                elif parts[0] == "e" and len(parts) == 4:
+                    network.add_edge(int(parts[1]), int(parts[2]), float(parts[3]))
+                else:
+                    raise ValueError("unknown record type")
+            except (ValueError, KeyError) as exc:
+                raise DatasetError(f"{path}:{line_no}: malformed line {line!r}") from exc
+    return network
+
+
+def save_edge_list(network: RoadNetwork, path: str) -> None:
+    """Write a network in the simple edge-list format readable by :func:`load_edge_list`."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("# repro road-network edge list\n")
+        for node in network.nodes():
+            handle.write(f"n {node.node_id} {node.x:.6f} {node.y:.6f}\n")
+        for edge in network.edges():
+            handle.write(f"e {edge.u} {edge.v} {edge.length:.6f}\n")

@@ -1,0 +1,148 @@
+"""Shortest-path routines over :class:`~repro.network.graph.RoadNetwork`.
+
+The LCMSR algorithms themselves do not route, but two substrates do: the MaxRS
+comparison in the paper's Section 7.5 derives a comparable length budget by computing
+the minimum total length of road segments connecting the relevant objects inside a
+rectangle (a Steiner-tree-ish measure we approximate with shortest-path joins), and
+the object-to-node mapping occasionally needs network distances. A binary-heap
+Dijkstra plus convenience wrappers cover both.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.exceptions import NodeNotFoundError, SolverError
+from repro.network.graph import RoadNetwork
+
+
+def dijkstra(
+    network: RoadNetwork,
+    source: int,
+    targets: Optional[Set[int]] = None,
+    max_distance: Optional[float] = None,
+) -> Tuple[Dict[int, float], Dict[int, int]]:
+    """Run Dijkstra's algorithm from ``source``.
+
+    Args:
+        network: The road network.
+        source: Source node identifier.
+        targets: Optional set of node identifiers; the search stops early once all of
+            them have been settled.
+        max_distance: Optional search radius; nodes farther than this are not settled.
+
+    Returns:
+        A pair ``(dist, parent)`` where ``dist`` maps each settled node to its network
+        distance from ``source`` and ``parent`` maps it to its predecessor on a
+        shortest path (the source has no parent entry).
+
+    Raises:
+        NodeNotFoundError: If ``source`` is not in the network.
+    """
+    if source not in network:
+        raise NodeNotFoundError(source)
+    dist: Dict[int, float] = {source: 0.0}
+    parent: Dict[int, int] = {}
+    settled: Set[int] = set()
+    remaining = set(targets) if targets is not None else None
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u in settled:
+            continue
+        settled.add(u)
+        if remaining is not None:
+            remaining.discard(u)
+            if not remaining:
+                break
+        for v, length in network.neighbor_items(u):
+            nd = d + length
+            if max_distance is not None and nd > max_distance:
+                continue
+            if v not in dist or nd < dist[v]:
+                dist[v] = nd
+                parent[v] = u
+                heapq.heappush(heap, (nd, v))
+    return dist, parent
+
+
+def shortest_path_length(network: RoadNetwork, source: int, target: int) -> float:
+    """Return the network distance between two nodes.
+
+    Raises:
+        SolverError: If ``target`` is unreachable from ``source``.
+    """
+    dist, _ = dijkstra(network, source, targets={target})
+    if target not in dist:
+        raise SolverError(f"node {target} is unreachable from node {source}")
+    return dist[target]
+
+
+def shortest_path(network: RoadNetwork, source: int, target: int) -> List[int]:
+    """Return the node sequence of a shortest path from ``source`` to ``target``.
+
+    Raises:
+        SolverError: If ``target`` is unreachable from ``source``.
+    """
+    dist, parent = dijkstra(network, source, targets={target})
+    if target not in dist:
+        raise SolverError(f"node {target} is unreachable from node {source}")
+    path = [target]
+    while path[-1] != source:
+        path.append(parent[path[-1]])
+    path.reverse()
+    return path
+
+
+def steiner_tree_length(network: RoadNetwork, terminals: Iterable[int]) -> float:
+    """Approximate the length of a minimal tree connecting ``terminals``.
+
+    Used by the Section 7.5 comparison: the paper derives the LCMSR length budget from
+    "the minimum total length of the road segments connecting all relevant objects" in
+    the MaxRS rectangle. We use the classic 2-approximation: build the metric closure
+    over the terminals with Dijkstra, take its minimum spanning tree, and report that
+    tree's length. Unreachable terminal pairs are skipped (each unreachable component
+    contributes its own sub-tree).
+
+    Returns:
+        The approximate connecting length; ``0.0`` when fewer than two terminals.
+    """
+    terminal_list = [t for t in dict.fromkeys(terminals) if t in network]
+    if len(terminal_list) < 2:
+        return 0.0
+    # Metric closure restricted to the terminals.
+    closure: Dict[int, Dict[int, float]] = {}
+    terminal_set = set(terminal_list)
+    for t in terminal_list:
+        dist, _ = dijkstra(network, t, targets=set(terminal_set) - {t})
+        closure[t] = {u: d for u, d in dist.items() if u in terminal_set and u != t}
+
+    # Prim's MST over the (possibly disconnected) closure.
+    total = 0.0
+    unvisited = set(terminal_list)
+    while unvisited:
+        start = next(iter(unvisited))
+        unvisited.discard(start)
+        heap: List[Tuple[float, int]] = []
+        for v, d in closure[start].items():
+            if v in unvisited:
+                heapq.heappush(heap, (d, v))
+        in_tree = {start}
+        while heap:
+            d, v = heapq.heappop(heap)
+            if v not in unvisited:
+                continue
+            unvisited.discard(v)
+            in_tree.add(v)
+            total += d
+            for w, dw in closure[v].items():
+                if w in unvisited:
+                    heapq.heappush(heap, (dw, w))
+    return total
+
+
+def eccentricity(network: RoadNetwork, source: int) -> float:
+    """Return the largest finite shortest-path distance from ``source``."""
+    dist, _ = dijkstra(network, source)
+    return max(dist.values()) if dist else 0.0

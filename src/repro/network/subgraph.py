@@ -1,0 +1,118 @@
+"""Spatial windowing of a road network to a query rectangle ``Q.Λ``.
+
+Every LCMSR algorithm works on the sub-network induced by the nodes that fall inside
+the query's rectangular region of interest. :class:`Rectangle` is the axis-aligned
+window type used throughout the library (queries, the grid index, MaxRS), and
+:func:`induced_subgraph` extracts the windowed network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Set, Tuple
+
+from repro.exceptions import QueryError
+from repro.network.graph import RoadNetwork
+
+
+@dataclass(frozen=True)
+class Rectangle:
+    """An axis-aligned rectangle ``[min_x, max_x] x [min_y, max_y]`` in meters.
+
+    Used for the query region of interest ``Q.Λ``, for grid-index cells, and for the
+    MaxRS baseline's result rectangles.
+    """
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.min_x > self.max_x or self.min_y > self.max_y:
+            raise QueryError(
+                f"degenerate rectangle: ({self.min_x}, {self.min_y}) .. ({self.max_x}, {self.max_y})"
+            )
+
+    @property
+    def width(self) -> float:
+        """Extent along the x axis."""
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        """Extent along the y axis."""
+        return self.max_y - self.min_y
+
+    @property
+    def area(self) -> float:
+        """Area of the rectangle (square meters)."""
+        return self.width * self.height
+
+    def center(self) -> Tuple[float, float]:
+        """Return the rectangle's centre point."""
+        return ((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    def contains(self, x: float, y: float) -> bool:
+        """Return ``True`` if the point ``(x, y)`` lies inside (borders included)."""
+        return self.min_x <= x <= self.max_x and self.min_y <= y <= self.max_y
+
+    def intersects(self, other: "Rectangle") -> bool:
+        """Return ``True`` if the two rectangles overlap (touching counts)."""
+        return not (
+            other.min_x > self.max_x
+            or other.max_x < self.min_x
+            or other.min_y > self.max_y
+            or other.max_y < self.min_y
+        )
+
+    def expanded(self, margin: float) -> "Rectangle":
+        """Return a copy grown by ``margin`` on every side."""
+        return Rectangle(
+            self.min_x - margin, self.min_y - margin, self.max_x + margin, self.max_y + margin
+        )
+
+    @staticmethod
+    def from_center(cx: float, cy: float, width: float, height: float) -> "Rectangle":
+        """Build a rectangle of the given size centred at ``(cx, cy)``."""
+        return Rectangle(cx - width / 2.0, cy - height / 2.0, cx + width / 2.0, cy + height / 2.0)
+
+    @staticmethod
+    def square_of_area(cx: float, cy: float, area: float) -> "Rectangle":
+        """Build a square of the given area (m²) centred at ``(cx, cy)``.
+
+        The paper specifies query regions by area (e.g. 100 km²); this helper converts
+        that convention to a concrete window.
+        """
+        if area <= 0:
+            raise QueryError(f"rectangle area must be positive, got {area}")
+        side = area ** 0.5
+        return Rectangle.from_center(cx, cy, side, side)
+
+
+def nodes_in_rectangle(network: RoadNetwork, window: Rectangle) -> List[int]:
+    """Return the identifiers of all nodes whose embedding lies inside ``window``."""
+    return [node.node_id for node in network.nodes() if window.contains(node.x, node.y)]
+
+
+def induced_subgraph(network: RoadNetwork, window: Rectangle) -> RoadNetwork:
+    """Return the sub-network induced by the nodes inside ``window``.
+
+    Only edges with both endpoints inside the window are kept, matching the paper's
+    length-constraint definition, which sums ``τ(vi, vj)`` over edges whose endpoints
+    are both in ``Q.Λ``.
+    """
+    return network.subgraph(nodes_in_rectangle(network, window))
+
+
+def largest_component_subgraph(network: RoadNetwork) -> RoadNetwork:
+    """Return the sub-network induced by the largest connected component.
+
+    Windowing can split a connected road network into several pieces; some callers
+    (e.g. workload generators that need routable areas) want only the dominant piece.
+    """
+    components = network.connected_components()
+    if not components:
+        return RoadNetwork()
+    largest = max(components, key=len)
+    return network.subgraph(largest)

@@ -1,0 +1,20 @@
+"""Geo-textual object substrate.
+
+A geo-textual object (the paper's PoI) carries a planar location, a textual
+description (bag of keywords), and optional popularity/rating attributes. Objects are
+mapped onto their nearest road-network node, after which each network node carries the
+multiset union of the descriptions of the objects mapped to it — exactly the model the
+paper's Section 2 and Section 7.1 describe.
+"""
+
+from repro.objects.geoobject import GeoTextualObject
+from repro.objects.corpus import ObjectCorpus
+from repro.objects.mapping import map_objects_to_network, nearest_node, NodeObjectMap
+
+__all__ = [
+    "GeoTextualObject",
+    "ObjectCorpus",
+    "map_objects_to_network",
+    "nearest_node",
+    "NodeObjectMap",
+]

@@ -1,0 +1,123 @@
+"""Collections of geo-textual objects.
+
+An :class:`ObjectCorpus` owns the objects of one dataset and provides the collection
+statistics the vector-space model needs (document frequency ``ft`` and the corpus size
+``|D|``), plus simple spatial and keyword filtering used by the workload generators.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import DatasetError
+from repro.network.subgraph import Rectangle
+from repro.objects.geoobject import GeoTextualObject
+
+
+class ObjectCorpus:
+    """A set of geo-textual objects with corpus-level term statistics.
+
+    The corpus is append-only: objects can be added, after which document frequencies
+    are kept incrementally. That is all the paper's indexing layer needs (the datasets
+    are loaded once and then queried many times).
+    """
+
+    def __init__(self, objects: Optional[Iterable[GeoTextualObject]] = None) -> None:
+        self._objects: Dict[int, GeoTextualObject] = {}
+        self._document_frequency: Dict[str, int] = defaultdict(int)
+        if objects is not None:
+            for obj in objects:
+                self.add(obj)
+
+    # ------------------------------------------------------------------ mutation
+    def add(self, obj: GeoTextualObject) -> None:
+        """Add an object; duplicate identifiers are rejected."""
+        if obj.object_id in self._objects:
+            raise DatasetError(f"duplicate object id {obj.object_id}")
+        self._objects[obj.object_id] = obj
+        for term in obj.keywords:
+            self._document_frequency[term] += 1
+
+    def add_all(self, objects: Iterable[GeoTextualObject]) -> None:
+        """Add every object from ``objects``."""
+        for obj in objects:
+            self.add(obj)
+
+    # ------------------------------------------------------------------ access
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __iter__(self) -> Iterator[GeoTextualObject]:
+        return iter(self._objects.values())
+
+    def __contains__(self, object_id: int) -> bool:
+        return object_id in self._objects
+
+    def get(self, object_id: int) -> GeoTextualObject:
+        """Return the object with ``object_id``; raises :class:`DatasetError` if absent."""
+        try:
+            return self._objects[object_id]
+        except KeyError:
+            raise DatasetError(f"unknown object id {object_id}") from None
+
+    def object_ids(self) -> Iterator[int]:
+        """Iterate over all object identifiers."""
+        return iter(self._objects.keys())
+
+    @property
+    def size(self) -> int:
+        """Number of objects in the corpus (the paper's ``|D|``)."""
+        return len(self._objects)
+
+    # ------------------------------------------------------------------ statistics
+    def document_frequency(self, term: str) -> int:
+        """Return the number of objects whose description contains ``term`` (``ft``)."""
+        return self._document_frequency.get(term, 0)
+
+    def vocabulary(self) -> Set[str]:
+        """Return the set of distinct terms appearing in the corpus."""
+        return set(self._document_frequency.keys())
+
+    def vocabulary_size(self) -> int:
+        """Return the number of distinct terms in the corpus."""
+        return len(self._document_frequency)
+
+    def term_frequencies(self) -> Dict[str, int]:
+        """Return a copy of the document-frequency table."""
+        return dict(self._document_frequency)
+
+    def most_frequent_terms(self, count: int) -> List[Tuple[str, int]]:
+        """Return the ``count`` terms with the highest document frequency."""
+        ordered = sorted(self._document_frequency.items(), key=lambda item: (-item[1], item[0]))
+        return ordered[:count]
+
+    # ------------------------------------------------------------------ filtering
+    def objects_in_rectangle(self, window: Rectangle) -> List[GeoTextualObject]:
+        """Return all objects located inside ``window`` (borders included)."""
+        return [obj for obj in self._objects.values() if window.contains(obj.x, obj.y)]
+
+    def objects_with_any_term(self, terms: Iterable[str]) -> List[GeoTextualObject]:
+        """Return all objects whose description contains at least one of ``terms``."""
+        term_set = {t.lower() for t in terms}
+        return [obj for obj in self._objects.values() if obj.contains_any(term_set)]
+
+    def terms_in_rectangle(self, window: Rectangle) -> Dict[str, int]:
+        """Return document frequencies restricted to objects inside ``window``.
+
+        Used by the query-workload generator, which samples keywords proportionally to
+        their frequency inside the selected query area (paper Section 7.1).
+        """
+        frequencies: Dict[str, int] = defaultdict(int)
+        for obj in self.objects_in_rectangle(window):
+            for term in obj.keywords:
+                frequencies[term] += 1
+        return dict(frequencies)
+
+    def bounding_box(self) -> Rectangle:
+        """Return the bounding rectangle of all object locations."""
+        if not self._objects:
+            raise DatasetError("bounding_box of an empty corpus is undefined")
+        xs = [obj.x for obj in self._objects.values()]
+        ys = [obj.y for obj in self._objects.values()]
+        return Rectangle(min(xs), min(ys), max(xs), max(ys))

@@ -1,0 +1,21 @@
+"""Text-relevance substrate.
+
+Implements the paper's Section 3 scoring: the vector-space model of Equation 1, the
+per-object precomputed term weights ``wto(t)`` and the query-time score of Equation 2,
+plus a simple tokenizer used when object descriptions arrive as raw strings. A
+language-model scorer is included as the alternative retrieval model the paper
+mentions (Ponte & Croft), selectable through the same interface.
+"""
+
+from repro.textindex.tokenizer import tokenize
+from repro.textindex.vector_space import VectorSpaceModel, QueryVector
+from repro.textindex.relevance import RelevanceScorer, ScoringMode, LanguageModelScorer
+
+__all__ = [
+    "tokenize",
+    "VectorSpaceModel",
+    "QueryVector",
+    "RelevanceScorer",
+    "ScoringMode",
+    "LanguageModelScorer",
+]

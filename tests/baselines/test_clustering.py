@@ -1,0 +1,83 @@
+"""Tests for the query-independent clustering strawman (paper Section 2, Figure 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.clustering import SpatialTextualClustering
+from repro.exceptions import SolverError
+from repro.objects.corpus import ObjectCorpus
+from repro.objects.geoobject import GeoTextualObject
+
+from tests.conftest import make_small_corpus
+
+
+def two_cluster_corpus() -> ObjectCorpus:
+    """Two clearly separated spatial groups with different vocabularies."""
+    corpus = ObjectCorpus()
+    for i in range(6):
+        corpus.add(GeoTextualObject.create(i, float(i), float(i % 2), ["cafe", "coffee"]))
+    for i in range(6, 12):
+        corpus.add(GeoTextualObject.create(i, 1000.0 + i, float(i % 2), ["museum", "art"]))
+    return corpus
+
+
+class TestValidation:
+    def test_invalid_parameters(self):
+        corpus = make_small_corpus()
+        with pytest.raises(SolverError):
+            SpatialTextualClustering(corpus, num_clusters=0)
+        with pytest.raises(SolverError):
+            SpatialTextualClustering(corpus, text_weight=1.5)
+        with pytest.raises(SolverError):
+            SpatialTextualClustering(ObjectCorpus())
+
+
+class TestClustering:
+    def test_every_object_assigned_exactly_once(self):
+        corpus = make_small_corpus()
+        clustering = SpatialTextualClustering(corpus, num_clusters=3, seed=1)
+        assigned = [oid for cluster in clustering.clusters for oid in cluster.object_ids]
+        assert sorted(assigned) == sorted(corpus.object_ids())
+
+    def test_k_capped_at_corpus_size(self):
+        corpus = make_small_corpus()
+        clustering = SpatialTextualClustering(corpus, num_clusters=100, seed=1)
+        assert len(clustering.clusters) <= len(corpus)
+
+    def test_separated_groups_split(self):
+        clustering = SpatialTextualClustering(two_cluster_corpus(), num_clusters=2, seed=1)
+        cluster_sets = [set(c.object_ids) for c in clustering.clusters if c.object_ids]
+        assert set(range(6)) in cluster_sets
+        assert set(range(6, 12)) in cluster_sets
+
+    def test_best_cluster_is_query_dependent_choice_only(self):
+        """The clusters themselves never change with the query — only the pick does."""
+        clustering = SpatialTextualClustering(two_cluster_corpus(), num_clusters=2, seed=1)
+        cafe_cluster = clustering.best_cluster(["cafe"])
+        museum_cluster = clustering.best_cluster(["museum"])
+        assert set(cafe_cluster.object_ids) == set(range(6))
+        assert set(museum_cluster.object_ids) == set(range(6, 12))
+
+    def test_cluster_relevance_positive_for_matching_terms(self):
+        clustering = SpatialTextualClustering(two_cluster_corpus(), num_clusters=2, seed=1)
+        cluster = clustering.best_cluster(["cafe"])
+        assert clustering.cluster_relevance(cluster, ["cafe"]) > 0
+        assert clustering.cluster_relevance(cluster, ["museum"]) == 0.0
+
+    def test_figure3_drawback_cluster_mixes_irrelevant_objects(self):
+        """The chosen cluster drags along objects irrelevant to the query.
+
+        That is the paper's first argument against pre-clustering: the cluster is built
+        from mutual similarity, not from query relevance.
+        """
+        corpus = ObjectCorpus()
+        # One spatial blob containing both relevant and irrelevant objects.
+        for i in range(5):
+            corpus.add(GeoTextualObject.create(i, float(i), 0.0, ["cafe"]))
+        for i in range(5, 10):
+            corpus.add(GeoTextualObject.create(i, float(i - 5), 1.0, ["pharmacy"]))
+        clustering = SpatialTextualClustering(corpus, num_clusters=2, seed=2)
+        best = clustering.best_cluster(["cafe"])
+        irrelevant = [oid for oid in best.object_ids if "cafe" not in corpus.get(oid).terms]
+        assert irrelevant, "the spatially built cluster should contain irrelevant objects"

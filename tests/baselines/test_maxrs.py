@@ -1,0 +1,101 @@
+"""Tests for the MaxRS fixed-rectangle baseline."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.maxrs import MaxRSSolver
+from repro.exceptions import SolverError
+from repro.network.subgraph import Rectangle
+
+
+def brute_force_maxrs(points, weights, width, height):
+    """Reference: try every (right, top) corner pair of point coordinates."""
+    best = 0.0
+    ids = list(points)
+    for right_id, top_id in itertools.product(ids, repeat=2):
+        right = points[right_id][0]
+        top = points[top_id][1]
+        rect = Rectangle(right - width, top - height, right, top)
+        total = sum(
+            weights.get(pid, 0.0)
+            for pid, (x, y) in points.items()
+            if weights.get(pid, 0.0) > 0 and rect.contains(x, y)
+        )
+        best = max(best, total)
+    return best
+
+
+class TestValidation:
+    def test_dimensions_must_be_positive(self):
+        with pytest.raises(SolverError):
+            MaxRSSolver(width=0.0)
+        with pytest.raises(SolverError):
+            MaxRSSolver(height=-1.0)
+
+
+class TestSolve:
+    def test_empty_input(self):
+        result = MaxRSSolver(10, 10).solve({}, {})
+        assert result.rectangle is None
+        assert result.weight == 0.0
+        assert result.covered_ids == ()
+
+    def test_single_point(self):
+        result = MaxRSSolver(10, 10).solve({1: (5.0, 5.0)}, {1: 2.0})
+        assert result.weight == 2.0
+        assert result.covered_ids == (1,)
+        assert result.rectangle.contains(5.0, 5.0)
+
+    def test_cluster_beats_isolated_heavy_point(self):
+        points = {1: (0, 0), 2: (1, 1), 3: (2, 0), 4: (100, 100)}
+        weights = {1: 1.0, 2: 1.0, 3: 1.0, 4: 2.5}
+        result = MaxRSSolver(5, 5).solve(points, weights)
+        assert result.weight == pytest.approx(3.0)
+        assert set(result.covered_ids) == {1, 2, 3}
+
+    def test_window_restriction(self):
+        points = {1: (0, 0), 2: (100, 100)}
+        weights = {1: 1.0, 2: 5.0}
+        window = Rectangle(-10, -10, 10, 10)
+        result = MaxRSSolver(5, 5).solve(points, weights, window=window)
+        assert set(result.covered_ids) == {1}
+
+    def test_non_positive_weights_ignored(self):
+        points = {1: (0, 0), 2: (1, 0)}
+        weights = {1: 0.0, 2: -1.0}
+        result = MaxRSSolver(5, 5).solve(points, weights)
+        assert result.weight == 0.0
+        assert result.rectangle is None
+
+    def test_rectangle_size_matters(self):
+        # Two clusters 100 apart; a small rectangle covers one, a huge one covers both.
+        points = {i: (float(i), 0.0) for i in range(3)}
+        points.update({10 + i: (100.0 + i, 0.0) for i in range(3)})
+        weights = {pid: 1.0 for pid in points}
+        small = MaxRSSolver(5, 5).solve(points, weights)
+        big = MaxRSSolver(200, 5).solve(points, weights)
+        assert small.weight == pytest.approx(3.0)
+        assert big.weight == pytest.approx(6.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        raw_points=st.lists(
+            st.tuples(st.floats(0, 50), st.floats(0, 50), st.floats(0.1, 3.0)),
+            min_size=1,
+            max_size=25,
+        ),
+        width=st.floats(1.0, 30.0),
+        height=st.floats(1.0, 30.0),
+    )
+    def test_matches_brute_force(self, raw_points, width, height):
+        points = {i: (x, y) for i, (x, y, _) in enumerate(raw_points)}
+        weights = {i: w for i, (_, _, w) in enumerate(raw_points)}
+        solver = MaxRSSolver(width, height)
+        result = solver.solve(points, weights)
+        expected = brute_force_maxrs(points, weights, width, height)
+        assert result.weight == pytest.approx(expected, rel=1e-9)

@@ -1,0 +1,94 @@
+"""Tests for problem-instance construction (windowing + weight sources)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import LCMSRQuery, build_instance
+from repro.exceptions import QueryError
+from repro.network.builders import grid_network
+from repro.network.subgraph import Rectangle
+from repro.objects.mapping import map_objects_to_network
+from repro.index.grid import GridIndex
+from repro.textindex.relevance import RelevanceScorer
+
+from tests.conftest import make_small_corpus
+
+
+@pytest.fixture
+def indexed_setup():
+    network = grid_network(4, 4, spacing=100.0)
+    corpus = make_small_corpus()
+    mapping = map_objects_to_network(network, corpus)
+    grid = GridIndex(corpus, resolution=4)
+    scorer = RelevanceScorer(corpus, mapping)
+    return network, corpus, mapping, grid, scorer
+
+
+class TestWeightSources:
+    def test_requires_exactly_one_source(self, indexed_setup):
+        network, _, mapping, grid, scorer = indexed_setup
+        query = LCMSRQuery.create(["cafe"], delta=300.0)
+        with pytest.raises(QueryError):
+            build_instance(network, query)
+        with pytest.raises(QueryError):
+            build_instance(network, query, grid_index=grid, mapping=mapping, scorer=scorer)
+        with pytest.raises(QueryError):
+            build_instance(network, query, grid_index=grid)  # mapping missing
+
+    def test_grid_and_scorer_paths_agree(self, indexed_setup):
+        network, _, mapping, grid, scorer = indexed_setup
+        query = LCMSRQuery.create(["cafe", "coffee"], delta=300.0)
+        via_grid = build_instance(network, query, grid_index=grid, mapping=mapping)
+        via_scorer = build_instance(network, query, scorer=scorer)
+        assert set(via_grid.weights) == set(via_scorer.weights)
+        for node_id, weight in via_grid.weights.items():
+            assert weight == pytest.approx(via_scorer.weights[node_id])
+
+    def test_explicit_node_weights_filtered_to_window(self, indexed_setup):
+        network, *_ = indexed_setup
+        query = LCMSRQuery.create(["x"], delta=300.0, region=Rectangle(0, 0, 150, 150))
+        instance = build_instance(
+            network, query, node_weights={0: 1.0, 15: 2.0, 5: 0.0}
+        )
+        assert 0 in instance.weights
+        assert 15 not in instance.weights  # outside the window
+        assert 5 not in instance.weights  # zero weight dropped
+
+
+class TestWindowing:
+    def test_window_restricts_graph(self, indexed_setup):
+        network, _, mapping, grid, _ = indexed_setup
+        window = Rectangle(0, 0, 150, 150)
+        query = LCMSRQuery.create(["cafe"], delta=300.0, region=window)
+        instance = build_instance(network, query, grid_index=grid, mapping=mapping)
+        assert instance.num_candidate_nodes == 4
+        assert instance.num_candidate_edges == 4
+        assert all(node_id in instance.graph for node_id in instance.weights)
+
+    def test_no_window_uses_whole_network(self, indexed_setup):
+        network, _, mapping, grid, _ = indexed_setup
+        query = LCMSRQuery.create(["cafe"], delta=300.0)
+        instance = build_instance(network, query, grid_index=grid, mapping=mapping)
+        assert instance.num_candidate_nodes == network.num_nodes
+
+
+class TestDerivedFacts:
+    def test_sigma_and_totals(self, indexed_setup):
+        network, _, mapping, grid, _ = indexed_setup
+        query = LCMSRQuery.create(["cafe"], delta=300.0)
+        instance = build_instance(network, query, grid_index=grid, mapping=mapping)
+        assert instance.has_relevant_nodes
+        assert instance.sigma_max() == max(instance.weights.values())
+        assert instance.total_weight() == pytest.approx(sum(instance.weights.values()))
+        assert instance.relevant_nodes() == set(instance.weights)
+        assert instance.weight_of(-99) == 0.0
+
+    def test_restricted_to(self, indexed_setup):
+        network, _, mapping, grid, _ = indexed_setup
+        query = LCMSRQuery.create(["cafe"], delta=300.0)
+        instance = build_instance(network, query, grid_index=grid, mapping=mapping)
+        some_node = next(iter(instance.weights))
+        restricted = instance.restricted_to([some_node])
+        assert restricted.num_candidate_nodes == 1
+        assert set(restricted.weights) == {some_node}

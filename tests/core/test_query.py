@@ -1,0 +1,59 @@
+"""Tests for the LCMSR query type."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.query import LCMSRQuery
+from repro.exceptions import QueryError
+from repro.network.subgraph import Rectangle
+
+
+class TestValidation:
+    def test_create_normalises_keywords(self):
+        query = LCMSRQuery.create(["Cafe", " cafe ", "BAR"], delta=5.0)
+        assert query.keywords == ("cafe", "bar")
+        assert query.keyword_count == 2
+
+    def test_empty_keywords_rejected(self):
+        with pytest.raises(QueryError):
+            LCMSRQuery.create([], delta=5.0)
+        with pytest.raises(QueryError):
+            LCMSRQuery.create(["   "], delta=5.0)
+
+    def test_negative_delta_rejected(self):
+        with pytest.raises(QueryError):
+            LCMSRQuery.create(["cafe"], delta=-1.0)
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(QueryError):
+            LCMSRQuery.create(["cafe"], delta=1.0, k=0)
+
+    def test_zero_delta_allowed(self):
+        # A zero length constraint is legal: the answer is a single node.
+        query = LCMSRQuery.create(["cafe"], delta=0.0)
+        assert query.delta == 0.0
+
+
+class TestDerivation:
+    def test_with_delta(self):
+        query = LCMSRQuery.create(["cafe"], delta=5.0)
+        other = query.with_delta(9.0)
+        assert other.delta == 9.0
+        assert other.keywords == query.keywords
+        assert query.delta == 5.0  # original unchanged
+
+    def test_with_region(self):
+        region = Rectangle(0, 0, 10, 10)
+        query = LCMSRQuery.create(["cafe"], delta=5.0).with_region(region)
+        assert query.region is region
+        assert query.with_region(None).region is None
+
+    def test_with_k(self):
+        query = LCMSRQuery.create(["cafe"], delta=5.0).with_k(4)
+        assert query.k == 4
+
+    def test_frozen(self):
+        query = LCMSRQuery.create(["cafe"], delta=5.0)
+        with pytest.raises(AttributeError):
+            query.delta = 1.0  # type: ignore[misc]

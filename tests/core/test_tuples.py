@@ -1,0 +1,133 @@
+"""Tests for region tuples and tuple arrays (Definitions 4-6, Lemma 6 dominance)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.tuples import RegionTuple, TupleArray
+
+
+def tuple_strategy():
+    return st.builds(
+        RegionTuple,
+        length=st.floats(0, 100, allow_nan=False),
+        weight=st.floats(0, 10, allow_nan=False),
+        scaled_weight=st.integers(0, 50),
+        nodes=st.frozensets(st.integers(0, 30), min_size=1, max_size=6),
+        edges=st.just(frozenset()),
+    )
+
+
+class TestRegionTuple:
+    def test_singleton(self):
+        t = RegionTuple.singleton(3, 0.7, 12)
+        assert t.length == 0.0
+        assert t.nodes == frozenset({3})
+        assert t.edges == frozenset()
+        assert t.scaled_weight == 12
+
+    def test_combine_disjoint(self):
+        a = RegionTuple.singleton(1, 0.5, 5)
+        b = RegionTuple.singleton(2, 0.3, 3)
+        combined = a.combine(b, 1, 2, 4.0)
+        assert combined.length == pytest.approx(4.0)
+        assert combined.weight == pytest.approx(0.8)
+        assert combined.scaled_weight == 8
+        assert combined.nodes == frozenset({1, 2})
+        assert combined.edges == frozenset({(1, 2)})
+
+    def test_combine_accumulates_lengths(self):
+        a = RegionTuple(2.0, 0.5, 5, frozenset({1, 2}), frozenset({(1, 2)}))
+        b = RegionTuple.singleton(3, 0.1, 1)
+        combined = a.combine(b, 2, 3, 1.5)
+        assert combined.length == pytest.approx(3.5)
+        assert combined.edges == frozenset({(1, 2), (2, 3)})
+
+    def test_extend(self):
+        a = RegionTuple.singleton(1, 0.5, 5)
+        extended = a.extend(4, 0.2, 2, attach_to=1, edge_length=3.0)
+        assert extended.nodes == frozenset({1, 4})
+        assert extended.edges == frozenset({(1, 4)})
+        assert extended.scaled_weight == 7
+
+    def test_shares_nodes_with(self):
+        a = RegionTuple.singleton(1, 0.5, 5)
+        b = RegionTuple.singleton(1, 0.5, 5)
+        c = RegionTuple.singleton(2, 0.5, 5)
+        assert a.shares_nodes_with(b)
+        assert not a.shares_nodes_with(c)
+
+    def test_to_region(self):
+        a = RegionTuple(1.5, 0.7, 7, frozenset({1, 2}), frozenset({(1, 2)}))
+        region = a.to_region()
+        assert region.weight == pytest.approx(0.7)
+        assert region.length == pytest.approx(1.5)
+
+    def test_better_than_ordering(self):
+        heavy = RegionTuple.singleton(1, 1.0, 10)
+        light = RegionTuple.singleton(2, 0.5, 5)
+        assert heavy.better_than(light)
+        assert not light.better_than(heavy)
+        assert heavy.better_than(None)
+        # Equal scaled weight: larger original weight wins; then shorter length.
+        long_one = RegionTuple(5.0, 1.0, 10, frozenset({3}), frozenset())
+        short_one = RegionTuple(1.0, 1.0, 10, frozenset({4}), frozenset())
+        assert short_one.better_than(long_one)
+
+
+class TestTupleArray:
+    def test_update_keeps_shortest_per_key(self):
+        array = TupleArray()
+        long_tuple = RegionTuple(5.0, 1.0, 10, frozenset({1}), frozenset())
+        short_tuple = RegionTuple(2.0, 1.0, 10, frozenset({2}), frozenset())
+        assert array.update(long_tuple)
+        assert array.update(short_tuple)
+        assert not array.update(long_tuple)
+        assert array.get(10) is short_tuple
+        assert len(array) == 1
+        assert 10 in array
+
+    def test_best_prefers_largest_scaled_weight(self):
+        array = TupleArray()
+        array.update(RegionTuple(1.0, 0.4, 4, frozenset({1}), frozenset()))
+        array.update(RegionTuple(9.0, 0.9, 9, frozenset({2}), frozenset()))
+        assert array.best().scaled_weight == 9
+
+    def test_best_empty(self):
+        assert TupleArray().best() is None
+
+    def test_prune_longer_than(self):
+        array = TupleArray()
+        array.update(RegionTuple(1.0, 0.4, 4, frozenset({1}), frozenset()))
+        array.update(RegionTuple(9.0, 0.9, 9, frozenset({2}), frozenset()))
+        array.prune_longer_than(5.0)
+        assert array.get(9) is None
+        assert array.get(4) is not None
+
+    @settings(max_examples=50, deadline=None)
+    @given(tuples=st.lists(tuple_strategy(), min_size=0, max_size=40))
+    def test_per_key_minimality_invariant(self, tuples):
+        array = TupleArray()
+        for candidate in tuples:
+            array.update(candidate)
+        # For every scaled weight, the stored tuple must be the shortest ever offered.
+        best_by_key = {}
+        for candidate in tuples:
+            current = best_by_key.get(candidate.scaled_weight)
+            if current is None or candidate.length < current:
+                best_by_key[candidate.scaled_weight] = candidate.length
+        for key, expected_length in best_by_key.items():
+            stored = array.get(key)
+            assert stored is not None
+            assert stored.length == pytest.approx(expected_length)
+
+    @settings(max_examples=50, deadline=None)
+    @given(tuples=st.lists(tuple_strategy(), min_size=1, max_size=40))
+    def test_best_matches_preference_order(self, tuples):
+        array = TupleArray()
+        for candidate in tuples:
+            array.update(candidate)
+        best = array.best()
+        for stored in array.tuples():
+            assert not stored.better_than(best) or stored is best

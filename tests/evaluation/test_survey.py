@@ -1,0 +1,74 @@
+"""Tests for the simulated annotator study (Section 7.5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.survey import (
+    RegionJudgement,
+    SimulatedAnnotator,
+    SurveyResult,
+    run_survey,
+)
+
+
+def judgement(objects, weight, connected, length):
+    return RegionJudgement(
+        relevant_objects=objects, total_weight=weight, connected=connected, road_length=length
+    )
+
+
+class TestAnnotator:
+    def test_more_coverage_preferred(self):
+        annotator = SimulatedAnnotator(seed=1)
+        better = judgement(15, 5.9, True, 8000)
+        worse = judgement(7, 3.6, True, 8000)
+        assert annotator.prefers_first(better, worse) is True
+        assert annotator.prefers_first(worse, better) is False
+
+    def test_connected_region_preferred_at_equal_coverage(self):
+        annotator = SimulatedAnnotator(seed=2)
+        connected = judgement(10, 4.0, True, 5000)
+        disconnected = judgement(10, 4.0, False, 5000)
+        assert annotator.prefers_first(connected, disconnected) is True
+
+    def test_identical_regions_tie(self):
+        annotator = SimulatedAnnotator(seed=3)
+        same = judgement(10, 4.0, True, 5000)
+        assert annotator.prefers_first(same, same) is None
+
+    def test_annotators_differ_but_agree_on_clear_cases(self):
+        strong = judgement(20, 8.0, True, 6000)
+        weak = judgement(3, 1.0, False, 6000)
+        for seed in range(10):
+            assert SimulatedAnnotator(seed).prefers_first(strong, weak) is True
+
+
+class TestSurvey:
+    def test_empty_survey(self):
+        result = run_survey([])
+        assert result.queries == 0
+        assert result.lcmsr_preference_rate == 0.0
+
+    def test_majority_rule(self):
+        pairs = [
+            (judgement(15, 5.9, True, 8000), judgement(7, 3.6, False, 8000)),
+            (judgement(12, 4.8, True, 8000), judgement(11, 4.5, False, 8000)),
+            (judgement(2, 0.5, True, 8000), judgement(10, 6.0, True, 500)),
+        ]
+        result = run_survey(pairs, num_annotators=5, majority=3, seed=7)
+        assert result.queries == 3
+        assert result.lcmsr_wins >= 2
+        assert result.lcmsr_wins + result.maxrs_wins + result.ties == 3
+        assert 0.0 <= result.lcmsr_preference_rate <= 1.0
+
+    def test_paper_like_scenario_prefers_lcmsr(self):
+        """The paper's Figure 17-19 numbers: LCMSR regions cover more connected
+        relevant objects than the MaxRS rectangle; the panel must prefer them."""
+        pairs = []
+        for _ in range(20):
+            lcmsr = judgement(15, 5.9, True, 8000)
+            maxrs = judgement(9, 3.9, False, 8000)
+            pairs.append((lcmsr, maxrs))
+        result = run_survey(pairs)
+        assert result.lcmsr_preference_rate >= 0.9

@@ -1,0 +1,138 @@
+"""Unit and property-based tests for the B+-tree."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import IndexError_
+from repro.index.bptree import BPlusTree
+
+
+class TestBasics:
+    def test_empty_tree(self):
+        tree = BPlusTree(order=4)
+        assert len(tree) == 0
+        assert tree.get(1) is None
+        assert tree.get(1, "default") == "default"
+        assert 1 not in tree
+        assert list(tree.items()) == []
+
+    def test_insert_and_get(self):
+        tree = BPlusTree(order=4)
+        tree.insert(5, "five")
+        tree.insert(1, "one")
+        tree.insert(9, "nine")
+        assert tree.get(5) == "five"
+        assert tree.get(1) == "one"
+        assert 9 in tree
+        assert len(tree) == 3
+
+    def test_overwrite_existing_key(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        assert tree.get(1) == "b"
+        assert len(tree) == 1
+
+    def test_order_validation(self):
+        with pytest.raises(IndexError_):
+            BPlusTree(order=2)
+
+    def test_items_sorted(self):
+        tree = BPlusTree(order=4)
+        keys = [7, 3, 9, 1, 5, 2, 8, 4, 6, 0]
+        for key in keys:
+            tree.insert(key, key * 10)
+        assert [k for k, _ in tree.items()] == sorted(keys)
+        assert list(tree.keys()) == sorted(keys)
+
+    def test_splits_increase_height(self):
+        tree = BPlusTree(order=3)
+        for key in range(30):
+            tree.insert(key, key)
+        assert tree.height() > 1
+        tree.check_invariants()
+
+    def test_tuple_keys(self):
+        tree = BPlusTree(order=4)
+        tree.insert(("cafe", 3), 0.5)
+        tree.insert(("cafe", 1), 0.7)
+        tree.insert(("bar", 9), 0.2)
+        assert tree.get(("cafe", 1)) == 0.7
+        assert [k for k, _ in tree.items()] == [("bar", 9), ("cafe", 1), ("cafe", 3)]
+
+
+class TestRangeScan:
+    def test_inclusive_bounds(self):
+        tree = BPlusTree(order=4)
+        for key in range(20):
+            tree.insert(key, key)
+        scanned = [k for k, _ in tree.range_scan(5, 10)]
+        assert scanned == [5, 6, 7, 8, 9, 10]
+
+    def test_empty_range(self):
+        tree = BPlusTree(order=4)
+        for key in range(10):
+            tree.insert(key, key)
+        assert list(tree.range_scan(8, 3)) == []
+        assert list(tree.range_scan(100, 200)) == []
+
+    def test_range_spanning_leaves(self):
+        tree = BPlusTree(order=3)
+        for key in range(100):
+            tree.insert(key, key)
+        scanned = [k for k, _ in tree.range_scan(13, 77)]
+        assert scanned == list(range(13, 78))
+
+    def test_postings_style_scan(self):
+        tree = BPlusTree(order=4)
+        for object_id in (4, 1, 9):
+            tree.insert(("cafe", object_id), 0.1 * object_id)
+        for object_id in (2, 8):
+            tree.insert(("bar", object_id), 0.2)
+        cafe = [k for k, _ in tree.range_scan(("cafe", -1), ("cafe", 2**63))]
+        assert cafe == [("cafe", 1), ("cafe", 4), ("cafe", 9)]
+
+
+class TestProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        entries=st.lists(st.integers(-10_000, 10_000), min_size=0, max_size=300),
+        order=st.integers(3, 16),
+    )
+    def test_matches_dict_semantics(self, entries, order):
+        tree = BPlusTree(order=order)
+        reference = {}
+        for key in entries:
+            tree.insert(key, key * 2)
+            reference[key] = key * 2
+        assert len(tree) == len(reference)
+        assert [k for k, _ in tree.items()] == sorted(reference)
+        for key in reference:
+            assert tree.get(key) == reference[key]
+        tree.check_invariants()
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        entries=st.lists(st.integers(0, 500), min_size=1, max_size=200),
+        low=st.integers(0, 500),
+        high=st.integers(0, 500),
+    )
+    def test_range_scan_matches_filter(self, entries, low, high):
+        tree = BPlusTree(order=5)
+        reference = {}
+        for key in entries:
+            tree.insert(key, str(key))
+            reference[key] = str(key)
+        expected = sorted(k for k in reference if low <= k <= high)
+        assert [k for k, _ in tree.range_scan(low, high)] == expected
+
+    def test_large_random_workload_invariants(self):
+        rng = random.Random(0)
+        tree = BPlusTree(order=8)
+        for _ in range(5000):
+            tree.insert(rng.randrange(100_000), rng.random())
+        tree.check_invariants()

@@ -1,0 +1,102 @@
+"""Tests for the uniform grid index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import IndexError_
+from repro.index.grid import GridIndex
+from repro.network.builders import grid_network
+from repro.network.subgraph import Rectangle
+from repro.objects.corpus import ObjectCorpus
+from repro.objects.geoobject import GeoTextualObject
+from repro.objects.mapping import map_objects_to_network
+from repro.textindex.vector_space import VectorSpaceModel
+
+from tests.conftest import make_small_corpus
+
+
+class TestConstruction:
+    def test_invalid_resolution(self):
+        with pytest.raises(IndexError_):
+            GridIndex(make_small_corpus(), resolution=0)
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(IndexError_):
+            GridIndex(ObjectCorpus(), resolution=4)
+
+    def test_nonempty_cells(self):
+        grid = GridIndex(make_small_corpus(), resolution=4)
+        assert 1 <= grid.num_nonempty_cells <= 8
+        assert grid.resolution == 4
+
+    def test_cell_rectangle_tiles_extent(self):
+        grid = GridIndex(make_small_corpus(), resolution=4)
+        extent = grid.extent
+        first = grid.cell_rectangle(0, 0)
+        last = grid.cell_rectangle(3, 3)
+        assert first.min_x == pytest.approx(extent.min_x)
+        assert last.max_x == pytest.approx(extent.max_x)
+
+
+class TestSpatialFiltering:
+    def test_objects_in_window(self):
+        corpus = make_small_corpus()
+        grid = GridIndex(corpus, resolution=4)
+        window = Rectangle(0, 0, 100, 100)
+        assert set(grid.objects_in_window(window)) == {0}
+        everything = Rectangle(0, 0, 1000, 1000)
+        assert set(grid.objects_in_window(everything)) == set(corpus.object_ids())
+
+    def test_objects_on_window_border_included(self):
+        corpus = make_small_corpus()
+        grid = GridIndex(corpus, resolution=4)
+        window = Rectangle(50, 50, 150, 150)  # objects 0 and 1 sit on the borders
+        assert {0, 1} <= set(grid.objects_in_window(window))
+
+
+class TestScoring:
+    def test_score_objects_matches_direct_vsm(self):
+        corpus = make_small_corpus()
+        vsm = VectorSpaceModel(corpus)
+        grid = GridIndex(corpus, resolution=4, vsm=vsm)
+        window = Rectangle(0, 0, 1000, 1000)
+        via_grid = grid.score_objects(["cafe", "coffee"], window)
+        query = vsm.query_vector(["cafe", "coffee"])
+        for object_id, score in via_grid.items():
+            assert score == pytest.approx(vsm.score(object_id, query))
+        assert set(via_grid) == {0, 1, 6}
+
+    def test_score_objects_respects_window(self):
+        corpus = make_small_corpus()
+        grid = GridIndex(corpus, resolution=8)
+        window = Rectangle(0, 0, 100, 100)  # only object 0
+        scores = grid.score_objects(["cafe"], window)
+        assert set(scores) == {0}
+
+    def test_empty_keywords(self):
+        grid = GridIndex(make_small_corpus(), resolution=4)
+        assert grid.score_objects([], Rectangle(0, 0, 1000, 1000)) == {}
+
+    def test_node_weights_aggregate_per_node(self):
+        corpus = make_small_corpus()
+        network = grid_network(4, 4, spacing=100.0)
+        mapping = map_objects_to_network(network, corpus)
+        grid = GridIndex(corpus, resolution=4)
+        window = Rectangle(0, 0, 1000, 1000)
+        weights = grid.node_weights(["cafe", "coffee"], window, mapping)
+        assert weights
+        # Every weighted node must host at least one scored object.
+        scored_nodes = {mapping.node_of(o) for o in (0, 1, 6)}
+        assert set(weights) == scored_nodes
+        assert all(value > 0 for value in weights.values())
+
+    def test_node_weights_candidate_restriction(self):
+        corpus = make_small_corpus()
+        network = grid_network(4, 4, spacing=100.0)
+        mapping = map_objects_to_network(network, corpus)
+        grid = GridIndex(corpus, resolution=4)
+        window = Rectangle(0, 0, 1000, 1000)
+        node_of_0 = mapping.node_of(0)
+        weights = grid.node_weights(["cafe"], window, mapping, candidate_nodes={node_of_0})
+        assert set(weights) <= {node_of_0}

@@ -1,0 +1,71 @@
+"""Tests for the per-cell inverted index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.index.inverted import InvertedIndex
+from repro.textindex.vector_space import VectorSpaceModel
+
+from tests.conftest import make_small_corpus
+
+
+@pytest.fixture
+def indexed_corpus():
+    corpus = make_small_corpus()
+    vsm = VectorSpaceModel(corpus)
+    index = InvertedIndex(vsm)
+    index.add_objects(corpus)
+    return corpus, vsm, index
+
+
+class TestBuild:
+    def test_vocabulary_and_counts(self, indexed_corpus):
+        corpus, _, index = indexed_corpus
+        assert "cafe" in index.vocabulary
+        assert index.num_objects == len(corpus)
+        assert index.num_postings == sum(len(obj.terms) for obj in corpus)
+
+    def test_postings_contain_expected_objects(self, indexed_corpus):
+        _, _, index = indexed_corpus
+        postings = index.postings("cafe")
+        assert {p.object_id for p in postings} == {0, 1}
+        assert all(p.weight > 0 for p in postings)
+
+    def test_postings_sorted_by_object_id(self, indexed_corpus):
+        _, _, index = indexed_corpus
+        postings = index.postings("restaurant")
+        ids = [p.object_id for p in postings]
+        assert ids == sorted(ids)
+
+    def test_unknown_term_empty(self, indexed_corpus):
+        _, _, index = indexed_corpus
+        assert index.postings("zzz") == []
+
+    def test_posting_weights_match_vsm(self, indexed_corpus):
+        _, vsm, index = indexed_corpus
+        for posting in index.postings("coffee"):
+            assert posting.weight == pytest.approx(
+                vsm.object_term_weight(posting.object_id, "coffee")
+            )
+
+
+class TestQueries:
+    def test_candidate_objects(self, indexed_corpus):
+        _, _, index = indexed_corpus
+        assert index.candidate_objects(["cafe", "museum"]) == {0, 1, 7}
+
+    def test_accumulate_scores_matches_direct_scoring(self, indexed_corpus):
+        corpus, vsm, index = indexed_corpus
+        query = vsm.query_vector(["cafe", "coffee"])
+        via_index = index.accumulate_scores(dict(query.weights), query.norm)
+        for object_id, score in via_index.items():
+            assert score == pytest.approx(vsm.score(object_id, query))
+        direct_positive = {
+            obj.object_id for obj in corpus if vsm.score(obj, query) > 0
+        }
+        assert set(via_index) == direct_positive
+
+    def test_accumulate_scores_zero_norm(self, indexed_corpus):
+        _, _, index = indexed_corpus
+        assert index.accumulate_scores({"cafe": 1.0}, 0.0) == {}

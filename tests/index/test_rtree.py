@@ -1,0 +1,69 @@
+"""Tests for the STR-packed R-tree."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import IndexError_
+from repro.index.rtree import RTree, RTreeEntry
+from repro.network.subgraph import Rectangle
+
+
+def make_entries(points):
+    return [RTreeEntry(i, x, y) for i, (x, y) in enumerate(points)]
+
+
+class TestConstruction:
+    def test_empty_tree(self):
+        tree = RTree([])
+        assert len(tree) == 0
+        assert tree.height() == 0
+        assert tree.range_query(Rectangle(0, 0, 10, 10)) == []
+
+    def test_invalid_capacity(self):
+        with pytest.raises(IndexError_):
+            RTree([], leaf_capacity=1)
+
+    def test_height_grows_with_size(self):
+        rng = random.Random(1)
+        entries = make_entries([(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(500)])
+        tree = RTree(entries, leaf_capacity=8)
+        assert tree.height() >= 2
+        assert len(tree) == 500
+
+
+class TestRangeQueries:
+    def test_simple_window(self):
+        entries = make_entries([(0, 0), (5, 5), (10, 10), (20, 20)])
+        tree = RTree(entries, leaf_capacity=2)
+        found = tree.range_query(Rectangle(4, 4, 11, 11))
+        assert {e.item_id for e in found} == {1, 2}
+        assert tree.count_in(Rectangle(-1, -1, 100, 100)) == 4
+
+    def test_borders_inclusive(self):
+        entries = make_entries([(0, 0), (10, 10)])
+        tree = RTree(entries)
+        found = tree.range_query(Rectangle(0, 0, 10, 10))
+        assert len(found) == 2
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        points=st.lists(
+            st.tuples(st.floats(0, 100), st.floats(0, 100)), min_size=1, max_size=200
+        ),
+        window=st.tuples(
+            st.floats(0, 100), st.floats(0, 100), st.floats(0, 100), st.floats(0, 100)
+        ),
+        capacity=st.integers(2, 16),
+    )
+    def test_matches_linear_scan(self, points, window, capacity):
+        x1, y1, x2, y2 = window
+        rect = Rectangle(min(x1, x2), min(y1, y2), max(x1, x2), max(y1, y2))
+        entries = make_entries(points)
+        tree = RTree(entries, leaf_capacity=capacity)
+        expected = {e.item_id for e in entries if rect.contains(e.x, e.y)}
+        found = {e.item_id for e in tree.range_query(rect)}
+        assert found == expected

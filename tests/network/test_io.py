@@ -1,0 +1,88 @@
+"""Tests for DIMACS / edge-list loading and saving (round-trip properties)."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.network.builders import grid_network
+from repro.network.io import load_dimacs, load_edge_list, save_dimacs, save_edge_list
+
+
+class TestDimacsRoundTrip:
+    def test_round_trip_preserves_structure(self, tmp_path):
+        original = grid_network(4, 4, spacing=75.0)
+        gr = os.fspath(tmp_path / "net.gr")
+        co = os.fspath(tmp_path / "net.co")
+        save_dimacs(original, gr, co)
+        loaded = load_dimacs(gr, co)
+        assert loaded.num_nodes == original.num_nodes
+        assert loaded.num_edges == original.num_edges
+        for edge in original.edges():
+            assert loaded.edge_length(edge.u, edge.v) == pytest.approx(edge.length, rel=1e-6)
+
+    def test_length_scale_applies(self, tmp_path):
+        original = grid_network(2, 2, spacing=10.0)
+        gr = os.fspath(tmp_path / "net.gr")
+        co = os.fspath(tmp_path / "net.co")
+        save_dimacs(original, gr, co)
+        loaded = load_dimacs(gr, co, length_scale=0.1)
+        assert loaded.edge_length(0, 1) == pytest.approx(1.0)
+
+    def test_missing_files_raise(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_dimacs(os.fspath(tmp_path / "missing.gr"), os.fspath(tmp_path / "missing.co"))
+
+    def test_malformed_coordinate_line_raises(self, tmp_path):
+        co = tmp_path / "bad.co"
+        gr = tmp_path / "bad.gr"
+        co.write_text("v 1 0.0\n")
+        gr.write_text("")
+        with pytest.raises(DatasetError):
+            load_dimacs(os.fspath(gr), os.fspath(co))
+
+    def test_arc_referencing_unknown_node_raises(self, tmp_path):
+        co = tmp_path / "bad.co"
+        gr = tmp_path / "bad.gr"
+        co.write_text("v 1 0.0 0.0\nv 2 1.0 0.0\n")
+        gr.write_text("a 1 3 5.0\n")
+        with pytest.raises(DatasetError):
+            load_dimacs(os.fspath(gr), os.fspath(co))
+
+    def test_comments_and_headers_ignored(self, tmp_path):
+        co = tmp_path / "ok.co"
+        gr = tmp_path / "ok.gr"
+        co.write_text("c comment\np aux sp co 2\nv 1 0.0 0.0\nv 2 1.0 0.0\n")
+        gr.write_text("c comment\np sp 2 2\na 1 2 7.5\na 2 1 7.5\n")
+        network = load_dimacs(os.fspath(gr), os.fspath(co))
+        assert network.num_nodes == 2
+        assert network.num_edges == 1
+        assert network.edge_length(1, 2) == pytest.approx(7.5)
+
+
+class TestEdgeListRoundTrip:
+    def test_round_trip(self, tmp_path):
+        original = grid_network(3, 3, spacing=40.0)
+        path = os.fspath(tmp_path / "net.txt")
+        save_edge_list(original, path)
+        loaded = load_edge_list(path)
+        assert loaded.num_nodes == original.num_nodes
+        assert loaded.num_edges == original.num_edges
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "net.txt"
+        path.write_text("# header\n\nn 1 0 0\nn 2 10 0\ne 1 2 10\n")
+        network = load_edge_list(os.fspath(path))
+        assert network.num_edges == 1
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "net.txt"
+        path.write_text("n 1 0 0\nx broken line\n")
+        with pytest.raises(DatasetError):
+            load_edge_list(os.fspath(path))
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_edge_list(os.fspath(tmp_path / "missing.txt"))

@@ -1,0 +1,80 @@
+"""Tests for the geographic projection helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.network.projection import (
+    equirectangular_to_meters,
+    haversine_meters,
+    project_points,
+)
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_meters(40.7, -74.0, 40.7, -74.0) == 0.0
+
+    def test_one_degree_latitude_is_about_111km(self):
+        distance = haversine_meters(40.0, -74.0, 41.0, -74.0)
+        assert distance == pytest.approx(111_195, rel=0.01)
+
+    def test_known_city_pair(self):
+        # New York City to Philadelphia is roughly 130 km great-circle.
+        distance = haversine_meters(40.7128, -74.0060, 39.9526, -75.1652)
+        assert 120_000 < distance < 140_000
+
+    def test_symmetry(self):
+        a = haversine_meters(10.0, 20.0, 30.0, 40.0)
+        b = haversine_meters(30.0, 40.0, 10.0, 20.0)
+        assert a == pytest.approx(b)
+
+
+class TestEquirectangular:
+    def test_origin_maps_to_zero(self):
+        assert equirectangular_to_meters(40.7, -74.0, 40.7, -74.0) == (0.0, 0.0)
+
+    def test_close_to_haversine_for_city_extent(self):
+        origin = (40.7128, -74.0060)
+        point = (40.7628, -73.9360)  # ~8 km away
+        x, y = equirectangular_to_meters(point[0], point[1], origin[0], origin[1])
+        planar = math.hypot(x, y)
+        great_circle = haversine_meters(origin[0], origin[1], point[0], point[1])
+        assert planar == pytest.approx(great_circle, rel=0.005)
+
+    def test_axes_orientation(self):
+        # North of the origin: positive y. East of the origin: positive x.
+        _, y = equirectangular_to_meters(41.0, -74.0, 40.0, -74.0)
+        x, _ = equirectangular_to_meters(40.0, -73.0, 40.0, -74.0)
+        assert y > 0
+        assert x > 0
+
+    @given(
+        lat=st.floats(-60, 60),
+        lon=st.floats(-179, 179),
+        dlat=st.floats(-0.05, 0.05),
+        dlon=st.floats(-0.05, 0.05),
+    )
+    def test_small_offsets_agree_with_haversine(self, lat, lon, dlat, dlon):
+        x, y = equirectangular_to_meters(lat + dlat, lon + dlon, lat, lon)
+        planar = math.hypot(x, y)
+        great_circle = haversine_meters(lat, lon, lat + dlat, lon + dlon)
+        assert planar == pytest.approx(great_circle, rel=0.02, abs=1.0)
+
+
+class TestProjectPoints:
+    def test_empty(self):
+        assert project_points([]) == []
+
+    def test_centroid_origin_by_default(self):
+        points = [(40.0, -74.0), (40.2, -74.0)]
+        projected = project_points(points)
+        # Symmetric around the centroid: y coordinates are opposite.
+        assert projected[0][1] == pytest.approx(-projected[1][1], rel=1e-9)
+
+    def test_explicit_origin(self):
+        projected = project_points([(40.0, -74.0)], origin=(40.0, -74.0))
+        assert projected == [(0.0, 0.0)]

@@ -1,0 +1,105 @@
+"""Tests for Dijkstra, path reconstruction and the Steiner-length approximation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import NodeNotFoundError, SolverError
+from repro.network.builders import grid_network, path_network
+from repro.network.graph import RoadNetwork
+from repro.network.shortest_path import (
+    dijkstra,
+    eccentricity,
+    shortest_path,
+    shortest_path_length,
+    steiner_tree_length,
+)
+
+
+@pytest.fixture
+def weighted_square() -> RoadNetwork:
+    """A square with one expensive side plus a diagonal shortcut."""
+    network = RoadNetwork()
+    for node_id, (x, y) in enumerate([(0, 0), (1, 0), (1, 1), (0, 1)]):
+        network.add_node(node_id, float(x), float(y))
+    network.add_edge(0, 1, 1.0)
+    network.add_edge(1, 2, 1.0)
+    network.add_edge(2, 3, 1.0)
+    network.add_edge(3, 0, 10.0)
+    network.add_edge(0, 2, 2.5)
+    return network
+
+
+class TestDijkstra:
+    def test_distances_and_parents(self, weighted_square):
+        dist, parent = dijkstra(weighted_square, 0)
+        assert dist[0] == 0.0
+        assert dist[1] == 1.0
+        assert dist[2] == 2.0
+        assert dist[3] == 3.0
+        assert parent[3] == 2
+
+    def test_unknown_source_raises(self, weighted_square):
+        with pytest.raises(NodeNotFoundError):
+            dijkstra(weighted_square, 77)
+
+    def test_early_termination_with_targets(self, weighted_square):
+        dist, _ = dijkstra(weighted_square, 0, targets={1})
+        assert dist[1] == 1.0
+
+    def test_max_distance_prunes_far_nodes(self, weighted_square):
+        dist, _ = dijkstra(weighted_square, 0, max_distance=1.5)
+        assert 1 in dist
+        assert 3 not in dist
+
+    def test_grid_distance_matches_manhattan(self):
+        network = grid_network(5, 5, spacing=10.0)
+        assert shortest_path_length(network, 0, 24) == pytest.approx(80.0)
+
+
+class TestShortestPath:
+    def test_path_nodes(self, weighted_square):
+        assert shortest_path(weighted_square, 0, 3) == [0, 1, 2, 3]
+
+    def test_path_on_line(self):
+        network = path_network(5, edge_length=2.0)
+        assert shortest_path(network, 0, 4) == [0, 1, 2, 3, 4]
+        assert shortest_path_length(network, 0, 4) == pytest.approx(8.0)
+
+    def test_unreachable_target_raises(self):
+        network = RoadNetwork()
+        network.add_node(1, 0, 0)
+        network.add_node(2, 1, 0)
+        with pytest.raises(SolverError):
+            shortest_path(network, 1, 2)
+
+
+class TestSteinerLength:
+    def test_fewer_than_two_terminals_is_zero(self, weighted_square):
+        assert steiner_tree_length(weighted_square, []) == 0.0
+        assert steiner_tree_length(weighted_square, [0]) == 0.0
+
+    def test_pair_equals_shortest_path(self, weighted_square):
+        assert steiner_tree_length(weighted_square, [0, 3]) == pytest.approx(3.0)
+
+    def test_three_terminals_on_a_line(self):
+        network = path_network(5, edge_length=1.0)
+        assert steiner_tree_length(network, [0, 2, 4]) == pytest.approx(4.0)
+
+    def test_duplicates_and_unknown_terminals_ignored(self, weighted_square):
+        assert steiner_tree_length(weighted_square, [0, 0, 3, 99]) == pytest.approx(3.0)
+
+    def test_disconnected_terminals_counted_per_component(self):
+        network = path_network(3, edge_length=1.0)
+        network.add_node(10, 100, 0)
+        network.add_node(11, 101, 0)
+        network.add_edge(10, 11, 1.0)
+        # Two separate components: 0-2 (length 2) and 10-11 (length 1).
+        assert steiner_tree_length(network, [0, 2, 10, 11]) == pytest.approx(3.0)
+
+
+class TestEccentricity:
+    def test_eccentricity_on_path(self):
+        network = path_network(4, edge_length=1.0)
+        assert eccentricity(network, 0) == pytest.approx(3.0)
+        assert eccentricity(network, 1) == pytest.approx(2.0)

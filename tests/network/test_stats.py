@@ -1,0 +1,56 @@
+"""Tests for the network statistics helper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.builders import grid_network, path_network
+from repro.network.graph import RoadNetwork
+from repro.network.stats import compute_stats
+
+
+class TestComputeStats:
+    def test_empty_network(self):
+        stats = compute_stats(RoadNetwork())
+        assert stats.num_nodes == 0
+        assert stats.num_edges == 0
+        assert stats.total_length == 0.0
+        assert stats.num_components == 0
+
+    def test_path_network_values(self):
+        stats = compute_stats(path_network(4, edge_length=2.0))
+        assert stats.num_nodes == 4
+        assert stats.num_edges == 3
+        assert stats.total_length == pytest.approx(6.0)
+        assert stats.mean_edge_length == pytest.approx(2.0)
+        assert stats.min_edge_length == pytest.approx(2.0)
+        assert stats.max_edge_length == pytest.approx(2.0)
+        assert stats.average_degree == pytest.approx(1.5)
+        assert stats.num_components == 1
+
+    def test_components_counted(self):
+        network = path_network(3, edge_length=1.0)
+        network.add_node(50, 100.0, 0.0)
+        stats = compute_stats(network)
+        assert stats.num_components == 2
+
+    def test_bounding_box_area(self):
+        stats = compute_stats(grid_network(3, 5, spacing=10.0))
+        assert stats.bounding_box_area == pytest.approx(40.0 * 20.0)
+
+    def test_as_dict_round_trip(self):
+        stats = compute_stats(grid_network(2, 2, spacing=1.0))
+        payload = stats.as_dict()
+        assert payload["num_nodes"] == 4
+        assert payload["num_edges"] == 4
+        assert set(payload) == {
+            "num_nodes",
+            "num_edges",
+            "average_degree",
+            "min_edge_length",
+            "max_edge_length",
+            "mean_edge_length",
+            "total_length",
+            "num_components",
+            "bounding_box_area",
+        }

@@ -1,0 +1,80 @@
+"""Tests for the high-level LCMSREngine facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import LCMSREngine, Rectangle
+from repro.core.greedy import GreedySolver
+from repro.exceptions import QueryError
+from repro.textindex.relevance import ScoringMode
+
+
+@pytest.fixture(scope="module")
+def engine(tiny_ny_dataset):
+    return LCMSREngine(tiny_ny_dataset.network, tiny_ny_dataset.corpus)
+
+
+class TestConfiguration:
+    def test_unknown_default_algorithm_rejected(self, tiny_ny_dataset):
+        with pytest.raises(QueryError):
+            LCMSREngine(tiny_ny_dataset.network, tiny_ny_dataset.corpus, default_algorithm="nope")
+
+    def test_unknown_algorithm_at_query_time(self, engine):
+        with pytest.raises(QueryError):
+            engine.solver("does-not-exist")
+
+    def test_configure_solver_overrides(self, engine):
+        engine.configure_solver("greedy", GreedySolver(mu=0.7))
+        assert engine.solver("greedy").mu == 0.7
+
+    def test_accessors(self, engine, tiny_ny_dataset):
+        assert engine.network is tiny_ny_dataset.network
+        assert engine.corpus is tiny_ny_dataset.corpus
+        assert engine.mapping.num_mapped == len(tiny_ny_dataset.corpus)
+        assert engine.grid.num_nonempty_cells > 0
+
+
+class TestQuerying:
+    def test_query_returns_feasible_region(self, engine):
+        result = engine.query(["restaurant", "cafe"], delta=1200.0, algorithm="tgen")
+        assert result.region.satisfies(1200.0)
+        assert result.weight > 0
+        result.region.validate(engine.network)
+
+    def test_query_with_window(self, engine, tiny_ny_dataset):
+        extent = tiny_ny_dataset.extent
+        window = Rectangle(extent.min_x, extent.min_y,
+                           extent.min_x + 1200.0, extent.min_y + 1200.0)
+        result = engine.query(["restaurant"], delta=800.0, region=window, algorithm="greedy")
+        for node_id in result.region.nodes:
+            node = engine.network.node(node_id)
+            assert window.contains(node.x, node.y)
+
+    def test_algorithms_agree_on_rough_quality(self, engine):
+        tgen = engine.query(["cafe", "coffee"], delta=1200.0, algorithm="tgen")
+        greedy = engine.query(["cafe", "coffee"], delta=1200.0, algorithm="greedy")
+        app = engine.query(["cafe", "coffee"], delta=1200.0, algorithm="app")
+        best = max(tgen.weight, greedy.weight, app.weight)
+        assert best > 0
+        assert greedy.weight <= best + 1e-9
+        assert app.weight >= 0.5 * best  # APP carries an approximation guarantee
+
+    def test_query_with_unknown_keywords_returns_empty(self, engine):
+        result = engine.query(["zzzz-not-a-term"], delta=1000.0, algorithm="tgen")
+        assert result.is_empty
+
+    def test_topk_query(self, engine):
+        topk = engine.query_topk(["restaurant"], delta=1000.0, k=3, algorithm="tgen")
+        assert 1 <= len(topk) <= 3
+        node_sets = [r.region.nodes for r in topk]
+        assert len(set(node_sets)) == len(node_sets)
+
+    def test_rating_scoring_mode(self, tiny_ny_dataset):
+        engine = LCMSREngine(
+            tiny_ny_dataset.network,
+            tiny_ny_dataset.corpus,
+            scoring_mode=ScoringMode.RATING_IF_MATCH,
+        )
+        result = engine.query(["restaurant"], delta=1000.0, algorithm="greedy")
+        assert result.weight >= 0.0
