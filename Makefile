@@ -1,0 +1,21 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test docs-check bench-service bench
+
+# Tier-1 suite (includes the docs link/section check).
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Fail on broken intra-repo doc links or missing README sections.
+docs-check:
+	$(PYTHON) -m pytest tests/test_docs.py -q
+
+# Serving-layer throughput benchmark (queries/sec vs batch size, cache hit rate).
+bench-service:
+	$(PYTHON) -m pytest benchmarks/bench_service_throughput.py -q -s
+
+# All figure benchmarks (slow). bench_*.py is outside the default test file
+# pattern, so the collection pattern is widened explicitly.
+bench:
+	$(PYTHON) -m pytest benchmarks/ -q -o python_files="bench_*.py"

@@ -1,0 +1,156 @@
+"""Serving-layer throughput: queries/sec vs. batch size and cache hit rate.
+
+Not a paper figure — this benchmarks the ``repro.service`` scale-out layer added on
+top of the paper's single-query engine. Two claims are exercised:
+
+1. **Throughput**: a warm-cache batch of repeated queries through
+   :class:`~repro.service.QueryService` sustains at least 2× the queries/sec of the
+   sequential cold-path loop (``engine.query`` per request, every instance rebuilt).
+2. **Fidelity**: batching and caching change *no answers* — the batch output is
+   result-identical to the sequential loop, request by request.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_service_throughput.py -q -s
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Sequence
+
+from repro import LCMSREngine, QueryRequest, QueryService
+from repro.evaluation.reporting import format_service_stats, format_table
+
+ALGORITHM = "tgen"
+REPEAT_FACTOR = 8  # each distinct query appears this many times in a batch
+
+
+def _distinct_requests(workload) -> List[QueryRequest]:
+    """Turn a generated query workload into service requests."""
+    return [
+        QueryRequest.create(q.keywords, q.delta, region=q.region, algorithm=ALGORITHM)
+        for q in workload
+    ]
+
+
+def _tile(requests: Sequence[QueryRequest], total: int) -> List[QueryRequest]:
+    """Repeat a request list round-robin up to ``total`` entries (a hot workload)."""
+    return [requests[i % len(requests)] for i in range(total)]
+
+
+def _sequential_cold(engine: LCMSREngine, requests: Sequence[QueryRequest]):
+    """The pre-service serving path: one query at a time, no reuse anywhere."""
+    results = []
+    start = time.perf_counter()
+    for r in requests:
+        results.append(
+            engine.query(r.keywords, r.delta, region=r.region, algorithm=r.algorithm)
+        )
+    return results, time.perf_counter() - start
+
+
+def test_bench_warm_batch_vs_sequential_cold(ny_dataset, ny_default_workload):
+    engine = LCMSREngine(ny_dataset.network, ny_dataset.corpus)
+    distinct = _distinct_requests(ny_default_workload)
+    requests = _tile(distinct, len(distinct) * REPEAT_FACTOR)
+
+    sequential_results, cold_seconds = _sequential_cold(engine, requests)
+    cold_qps = len(requests) / cold_seconds
+
+    with QueryService(engine, max_workers=4) as service:
+        service.run_batch(requests)  # warm both caches
+        service.reset_stats()
+        start = time.perf_counter()
+        batch_results = service.run_batch(requests)
+        warm_seconds = time.perf_counter() - start
+        warm_qps = len(requests) / warm_seconds
+        stats = service.stats()
+
+    print()
+    print(format_table(
+        ["path", "queries", "seconds", "queries/sec"],
+        [
+            ["sequential cold loop", len(requests), cold_seconds, cold_qps],
+            ["warm-cache batch", len(requests), warm_seconds, warm_qps],
+        ],
+        title=f"warm batch vs cold loop (speedup {warm_qps / cold_qps:.1f}x)",
+    ))
+    print(format_service_stats(stats))
+
+    # Fidelity: batching + caching must not change a single answer.
+    assert len(batch_results) == len(sequential_results)
+    for got, expected in zip(batch_results, sequential_results):
+        assert got.region.nodes == expected.region.nodes
+        assert abs(got.weight - expected.weight) < 1e-9
+        assert abs(got.length - expected.length) < 1e-9
+
+    # Throughput: the acceptance bar is 2x; a fully warm cache clears it by far.
+    assert stats.result_hit_rate == 1.0
+    assert warm_qps >= 2.0 * cold_qps, (
+        f"warm batch {warm_qps:.1f} q/s vs cold loop {cold_qps:.1f} q/s"
+    )
+
+
+def test_bench_throughput_vs_batch_size(ny_dataset, ny_default_workload):
+    engine = LCMSREngine(ny_dataset.network, ny_dataset.corpus)
+    distinct = _distinct_requests(ny_default_workload)
+
+    rows = []
+    for batch_size in (4, 8, 16, 32, 64):
+        requests = _tile(distinct, batch_size)
+        with QueryService(engine, max_workers=4) as service:
+            start = time.perf_counter()
+            service.run_batch(requests)
+            seconds = time.perf_counter() - start
+            stats = service.stats()
+        rows.append([
+            batch_size,
+            batch_size / seconds,
+            stats.result_hit_rate,
+            stats.instance_hits,
+            seconds,
+        ])
+
+    print()
+    print(format_table(
+        ["batch size", "queries/sec", "result hit rate", "instance hits", "seconds"],
+        rows,
+        title="cold-start service throughput vs batch size "
+              f"({len(distinct)} distinct queries, {ALGORITHM})",
+    ))
+    # Larger batches repeat the same distinct queries, so the hit rate must
+    # rise monotonically with batch size and throughput with it.
+    hit_rates = [row[2] for row in rows]
+    assert hit_rates == sorted(hit_rates)
+    assert rows[-1][1] > rows[0][1]
+
+
+def test_bench_delta_sweep_instance_reuse(ny_dataset, ny_default_workload):
+    """A ∆-sweep over one keyword set: the instance cache removes the build cost."""
+    engine = LCMSREngine(ny_dataset.network, ny_dataset.corpus)
+    base = ny_default_workload[0]
+    deltas = [base.delta * f for f in (0.25, 0.5, 0.75, 1.0, 1.25, 1.5)]
+    requests = [
+        QueryRequest.create(base.keywords, d, region=base.region, algorithm=ALGORITHM)
+        for d in deltas
+    ]
+
+    with QueryService(engine, max_workers=1) as service:
+        service.run_batch(requests)
+        stats = service.stats()
+
+    print()
+    print(format_table(
+        ["measure", "value"],
+        [
+            ["sweep points", len(requests)],
+            ["instance builds", stats.instance_cache.misses],
+            ["instance reuses", stats.instance_hits],
+            ["total build (s)", stats.total_build_seconds],
+            ["total solve (s)", stats.total_solve_seconds],
+        ],
+        title="delta sweep over one keyword set",
+    ))
+    assert stats.instance_cache.misses == 1
+    assert stats.instance_hits == len(requests) - 1

@@ -1,0 +1,46 @@
+"""Batched serving: answer many LCMSR queries concurrently with caching.
+
+Builds the indexes once (an :class:`repro.IndexBundle` behind the engine), then
+serves a hot workload — repeated keyword sets, a ∆-sweep — through
+:class:`repro.QueryService`: a worker pool, an LRU result cache and a
+problem-instance cache. Prints the service's accounting tables afterwards.
+
+Run with:  python examples/batched_service.py
+"""
+
+from __future__ import annotations
+
+from repro import LCMSREngine, QueryRequest, QueryService, Rectangle, build_ny_like
+from repro.evaluation import format_query_timings, format_service_stats
+
+
+def main() -> None:
+    dataset = build_ny_like()
+    engine = LCMSREngine(dataset.network, dataset.corpus)
+    print(f"indexes built: {engine.bundle.describe()}")
+
+    cx, cy = dataset.extent.center()
+    downtown = Rectangle.from_center(cx, cy, 2500.0, 2500.0)
+
+    # A hot workload: the same two keyword sets over and over (think many users
+    # exploring the same neighbourhood), plus a budget sweep for one of them.
+    requests = (
+        [QueryRequest.create(["cafe", "restaurant"], 2000.0, region=downtown)] * 4
+        + [QueryRequest.create(["bar", "pub"], 1500.0, region=downtown)] * 4
+        + [QueryRequest.create(["cafe", "restaurant"], delta, region=downtown)
+           for delta in (1000.0, 1500.0, 2500.0)]
+    )
+
+    with QueryService(engine, max_workers=4) as service:
+        results = service.run_batch(requests)
+        best = max(results, key=lambda r: r.weight)
+        print(f"\n{len(results)} queries answered; best region: "
+              f"weight={best.weight:.3f} length={best.length:.0f} m")
+        print()
+        print(format_service_stats(service.stats()))
+        print()
+        print(format_query_timings(service.stats()))
+
+
+if __name__ == "__main__":
+    main()

@@ -7,6 +7,10 @@ the grid + inverted-list (+ B+-tree) index, the node-weight scaling technique, a
 GW-based node-weighted k-MST solver, the APP / TGEN / Greedy algorithms, the top-k
 extension, an exact oracle for small inputs and the MaxRS / clustering baselines.
 
+For serving many queries, :class:`repro.service.QueryService` wraps an engine with a
+worker pool, a result cache and a problem-instance cache (``submit_many`` /
+``run_batch``).
+
 Quick start::
 
     from repro import LCMSREngine, build_ny_like
@@ -16,10 +20,27 @@ Quick start::
     result = engine.query(["cafe", "restaurant"], delta=2000.0)
     print(result.region)
 
-See README.md for the architecture overview and DESIGN.md for the paper-to-module map.
+Batched serving::
+
+    from repro import QueryRequest, QueryService
+
+    with QueryService(engine, max_workers=4) as service:
+        results = service.run_batch(
+            [QueryRequest.create(["cafe"], delta=1500.0) for _ in range(32)]
+        )
+        print(service.stats().result_hit_rate)
+
+See README.md for install / quickstart and docs/ARCHITECTURE.md for the
+paper-to-module map and the serving-path data flow.
 """
 
 from repro.engine import LCMSREngine
+from repro.service import (
+    IndexBundle,
+    QueryRequest,
+    QueryService,
+    ServiceStats,
+)
 from repro.core import (
     APPSolver,
     ExactSolver,
@@ -44,6 +65,10 @@ __version__ = "1.0.0"
 
 __all__ = [
     "LCMSREngine",
+    "IndexBundle",
+    "QueryService",
+    "QueryRequest",
+    "ServiceStats",
     "LCMSRQuery",
     "Region",
     "RegionTuple",

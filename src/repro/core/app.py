@@ -111,7 +111,15 @@ class APPSolver:
 
     # ------------------------------------------------------------------ public API
     def solve(self, instance: ProblemInstance) -> RegionResult:
-        """Answer an LCMSR query; returns an empty result when nothing matches."""
+        """Answer an LCMSR query with the (5 + ε)-approximation pipeline.
+
+        Args:
+            instance: The windowed, weighted problem instance to solve.
+
+        Returns:
+            The best region found (with binary-search / GW-run statistics in
+            ``stats``); an empty result when no node in the window is relevant.
+        """
         start = time.perf_counter()
         prepared = self._prepare(instance)
         if prepared is None:
@@ -158,6 +166,15 @@ class APPSolver:
 
         After the candidate tree is found, findOptTree computes the tuple arrays of all
         its nodes, and the k best distinct feasible regions are read off the arrays.
+
+        Args:
+            instance: The windowed, weighted problem instance to solve.
+            k: Number of distinct regions to return; ``instance.query.k`` when
+                omitted.
+
+        Returns:
+            Up to ``k`` distinct regions in decreasing score order (fewer when the
+            window does not hold ``k`` distinct feasible regions).
         """
         start = time.perf_counter()
         k = k or instance.query.k

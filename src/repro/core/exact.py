@@ -38,7 +38,19 @@ class ExactSolver:
         self.max_nodes = max_nodes
 
     def solve(self, instance: ProblemInstance) -> RegionResult:
-        """Return the optimal region (provably, for small windows)."""
+        """Return the optimal region (provably, for small windows).
+
+        Args:
+            instance: The windowed, weighted problem instance to solve.
+
+        Returns:
+            The true optimum over all connected feasible subsets; an empty result
+            when no node in the window is relevant.
+
+        Raises:
+            SolverError: If the window exceeds ``max_nodes`` (the enumeration is
+                exponential).
+        """
         start = time.perf_counter()
         graph = instance.graph
         if graph.num_nodes > self.max_nodes:
@@ -55,7 +67,19 @@ class ExactSolver:
         return RegionResult(best[0], self.name, runtime)
 
     def solve_topk(self, instance: ProblemInstance, k: Optional[int] = None) -> TopKResult:
-        """Return the provably best ``k`` distinct regions for small windows."""
+        """Return the provably best ``k`` distinct regions for small windows.
+
+        Args:
+            instance: The windowed, weighted problem instance to solve.
+            k: Number of distinct regions to return; ``instance.query.k`` when
+                omitted.
+
+        Returns:
+            Up to ``k`` distinct regions in decreasing score order.
+
+        Raises:
+            SolverError: If the window exceeds ``max_nodes``.
+        """
         start = time.perf_counter()
         k = k or instance.query.k
         graph = instance.graph

@@ -48,7 +48,15 @@ class GreedySolver:
 
     # ------------------------------------------------------------------ public API
     def solve(self, instance: ProblemInstance) -> RegionResult:
-        """Answer an LCMSR query greedily."""
+        """Answer an LCMSR query by greedy region expansion.
+
+        Args:
+            instance: The windowed, weighted problem instance to solve.
+
+        Returns:
+            The grown region (no approximation guarantee); an empty result when no
+            node in the window is relevant.
+        """
         start = time.perf_counter()
         region = self._grow(instance, excluded=set())
         runtime = time.perf_counter() - start
@@ -56,7 +64,16 @@ class GreedySolver:
         return RegionResult(region or Region.empty(), self.name, runtime, stats=stats)
 
     def solve_topk(self, instance: ProblemInstance, k: Optional[int] = None) -> TopKResult:
-        """Top-k variant (Section 6.2): regrow repeatedly, excluding earlier regions."""
+        """Top-k variant (Section 6.2): regrow repeatedly, excluding earlier regions.
+
+        Args:
+            instance: The windowed, weighted problem instance to solve.
+            k: Number of distinct regions to return; ``instance.query.k`` when
+                omitted.
+
+        Returns:
+            Up to ``k`` node-disjoint regions in the order they were grown.
+        """
         start = time.perf_counter()
         k = k or instance.query.k
         excluded: Set[int] = set()

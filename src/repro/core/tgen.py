@@ -70,7 +70,15 @@ class TGENSolver:
 
     # ------------------------------------------------------------------ public API
     def solve(self, instance: ProblemInstance) -> RegionResult:
-        """Answer an LCMSR query; returns an empty result when nothing matches."""
+        """Answer an LCMSR query by tuple-generation over the window graph.
+
+        Args:
+            instance: The windowed, weighted problem instance to solve.
+
+        Returns:
+            The best enumerated region (with tuple/edge counters in ``stats``);
+            an empty result when no node in the window is relevant.
+        """
         start = time.perf_counter()
         best, _, stats = self._run(instance, collect_pool=False)
         runtime = time.perf_counter() - start
@@ -85,7 +93,16 @@ class TGENSolver:
         )
 
     def solve_topk(self, instance: ProblemInstance, k: Optional[int] = None) -> TopKResult:
-        """Answer a top-k LCMSR query by ranking the tuples of all node arrays."""
+        """Answer a top-k LCMSR query by ranking the tuples of all node arrays.
+
+        Args:
+            instance: The windowed, weighted problem instance to solve.
+            k: Number of distinct regions to return; ``instance.query.k`` when
+                omitted.
+
+        Returns:
+            Up to ``k`` distinct regions in decreasing score order.
+        """
         start = time.perf_counter()
         k = k or instance.query.k
         best, pool, _ = self._run(instance, collect_pool=True, pool_size=max(64, 16 * k))

@@ -1,15 +1,18 @@
 """High-level facade: build the indexes once, then ask LCMSR queries by name.
 
 :class:`LCMSREngine` is the entry point application code (and the examples) should
-use. It owns a road network and an object corpus, wires up the object → node mapping,
-the grid + inverted-list index and the relevance scorer, and exposes ``query`` /
-``query_topk`` calls that accept plain keywords and return :class:`Region` results,
-dispatching to APP, TGEN or Greedy by name.
+use. It owns an :class:`~repro.service.bundle.IndexBundle` — the road network, the
+object corpus, the object → node mapping, the grid + inverted-list index and the
+relevance scorer — and exposes ``query`` / ``query_topk`` calls that accept plain
+keywords and return :class:`~repro.core.region.Region` results, dispatching to APP,
+TGEN or Greedy by name. For batched / concurrent serving over the same indexes, wrap
+an engine in :class:`repro.service.QueryService`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Optional, Sequence, Union
+import threading
+from typing import Dict, Iterable, Optional, Union
 
 from repro.core.app import APPSolver
 from repro.core.exact import ExactSolver
@@ -23,23 +26,55 @@ from repro.index.grid import GridIndex
 from repro.network.graph import RoadNetwork
 from repro.network.subgraph import Rectangle
 from repro.objects.corpus import ObjectCorpus
-from repro.objects.mapping import NodeObjectMap, map_objects_to_network
-from repro.textindex.relevance import RelevanceScorer, ScoringMode
-from repro.textindex.vector_space import VectorSpaceModel
+from repro.objects.mapping import NodeObjectMap
+from repro.service.bundle import IndexBundle
+from repro.textindex.relevance import ScoringMode
 
 SolverUnion = Union[APPSolver, TGENSolver, GreedySolver, ExactSolver]
+
+
+def _default_solvers() -> Dict[str, SolverUnion]:
+    """The paper's solver registry with default parameters."""
+    return {
+        "app": APPSolver(),
+        "tgen": TGENSolver(),
+        "greedy": GreedySolver(),
+        "exact": ExactSolver(),
+    }
 
 
 class LCMSREngine:
     """Index a dataset once and answer LCMSR queries.
 
+    Construction validates its configuration *before* any index is built, so a
+    misconfigured engine fails in microseconds instead of after a multi-second
+    offline build:
+
+    * ``grid_resolution`` must be a positive integer;
+    * ``default_algorithm`` must name a registered solver.
+
     Args:
         network: The road network.
         corpus: The geo-textual objects.
-        grid_resolution: Resolution of the spatial grid index.
-        scoring_mode: Per-object weight definition (text relevance by default).
-        default_algorithm: Algorithm used when a query does not name one
-            ("tgen" — the paper's recommendation; "app" and "greedy" also accepted).
+        grid_resolution: Resolution of the spatial grid index (cells per axis);
+            must be a positive integer.
+        scoring_mode: Per-object weight definition (see
+            :class:`~repro.textindex.relevance.ScoringMode`):
+            ``TEXT_RELEVANCE`` (the paper's default) scores objects by TF-IDF
+            vector-space relevance through the grid's inverted lists;
+            ``RATING_IF_MATCH`` uses the object's rating when it contains any
+            query keyword; ``LANGUAGE_MODEL`` uses a Jelinek–Mercer smoothed
+            query likelihood. The last two bypass the TF-IDF postings and score
+            through the direct :class:`~repro.textindex.relevance.RelevanceScorer`.
+        default_algorithm: Algorithm used when a query does not name one. One of
+            ``"tgen"`` (the paper's accuracy recommendation and the default),
+            ``"app"`` (the (5 + ε)-approximation with a quality guarantee),
+            ``"greedy"`` (fastest, no guarantee) or ``"exact"`` (brute-force
+            oracle, tiny windows only).
+
+    Raises:
+        QueryError: If ``grid_resolution`` is not a positive integer or
+            ``default_algorithm`` is unknown.
     """
 
     def __init__(
@@ -50,50 +85,133 @@ class LCMSREngine:
         scoring_mode: ScoringMode = ScoringMode.TEXT_RELEVANCE,
         default_algorithm: str = "tgen",
     ) -> None:
-        self._network = network
-        self._corpus = corpus
-        self._mapping = map_objects_to_network(network, corpus)
-        self._vsm = VectorSpaceModel(corpus)
-        self._grid = GridIndex(corpus, resolution=grid_resolution, vsm=self._vsm)
-        self._scorer = RelevanceScorer(corpus, self._mapping, mode=scoring_mode)
-        self._scoring_mode = scoring_mode
+        # Fail fast on configuration errors before paying for the index build:
+        # the solver registry is cheap, so it is built (and the default name
+        # validated against it) first; IndexBundle.build validates
+        # grid_resolution before any index work.
+        solvers = _default_solvers()
+        if default_algorithm.lower() not in solvers:
+            raise QueryError(
+                f"unknown default algorithm {default_algorithm!r}; "
+                f"known: {sorted(solvers)}"
+            )
+        # grid_resolution is validated by IndexBundle.build, first thing.
+        bundle = IndexBundle.build(
+            network, corpus, grid_resolution=grid_resolution, scoring_mode=scoring_mode
+        )
+        self._attach(bundle, solvers, default_algorithm)
+
+    def _attach(
+        self,
+        bundle: IndexBundle,
+        solvers: Dict[str, SolverUnion],
+        default_algorithm: str,
+    ) -> None:
+        self._bundle = bundle
         self._default_algorithm = default_algorithm.lower()
-        self._solvers: Dict[str, SolverUnion] = {
-            "app": APPSolver(),
-            "tgen": TGENSolver(),
-            "greedy": GreedySolver(),
-            "exact": ExactSolver(),
-        }
-        if self._default_algorithm not in self._solvers:
-            raise QueryError(f"unknown default algorithm {default_algorithm!r}")
+        self._solvers = solvers
+        self._solver_generation = 0
+        self._solver_lock = threading.Lock()
+
+    @classmethod
+    def from_bundle(
+        cls, bundle: IndexBundle, default_algorithm: str = "tgen"
+    ) -> "LCMSREngine":
+        """Create an engine over an already-built index bundle.
+
+        This skips the offline build entirely — the intended path for services
+        that share one :class:`~repro.service.bundle.IndexBundle` across several
+        engines or worker pools.
+
+        Args:
+            bundle: The prebuilt index state.
+            default_algorithm: Algorithm used when a query does not name one.
+
+        Returns:
+            An engine serving queries from the shared bundle.
+
+        Raises:
+            QueryError: If ``default_algorithm`` is unknown.
+        """
+        solvers = _default_solvers()
+        if default_algorithm.lower() not in solvers:
+            raise QueryError(
+                f"unknown default algorithm {default_algorithm!r}; "
+                f"known: {sorted(solvers)}"
+            )
+        engine = cls.__new__(cls)
+        engine._attach(bundle, solvers, default_algorithm)
+        return engine
 
     # ------------------------------------------------------------------ configuration
     @property
+    def bundle(self) -> IndexBundle:
+        """The engine's query-independent index state."""
+        return self._bundle
+
+    @property
     def network(self) -> RoadNetwork:
         """The indexed road network."""
-        return self._network
+        return self._bundle.network
 
     @property
     def corpus(self) -> ObjectCorpus:
         """The indexed object corpus."""
-        return self._corpus
+        return self._bundle.corpus
 
     @property
     def mapping(self) -> NodeObjectMap:
         """The object → node mapping."""
-        return self._mapping
+        return self._bundle.mapping
 
     @property
     def grid(self) -> GridIndex:
         """The grid + inverted-list index."""
-        return self._grid
+        return self._bundle.grid
+
+    @property
+    def scoring_mode(self) -> ScoringMode:
+        """The per-object weight definition queries are scored under."""
+        return self._bundle.scoring_mode
+
+    @property
+    def default_algorithm(self) -> str:
+        """The solver name used when a query does not specify one."""
+        return self._default_algorithm
+
+    @property
+    def solver_generation(self) -> int:
+        """Counter bumped by every :meth:`configure_solver` call.
+
+        The serving layer folds this into its result-cache keys, so results
+        computed by a replaced solver are never served after reconfiguration.
+        """
+        return self._solver_generation
 
     def configure_solver(self, name: str, solver: SolverUnion) -> None:
-        """Replace or add a named solver (e.g. an APP with different α/β)."""
-        self._solvers[name.lower()] = solver
+        """Replace or add a named solver (e.g. an APP with different α/β).
+
+        Args:
+            name: Registry name; lower-cased, so ``"Greedy"`` and ``"greedy"``
+                address the same slot.
+            solver: Any object with ``solve`` / ``solve_topk`` methods.
+        """
+        with self._solver_lock:
+            self._solvers[name.lower()] = solver
+            self._solver_generation += 1
 
     def solver(self, name: Optional[str] = None) -> SolverUnion:
-        """Return the solver registered under ``name`` (default algorithm if omitted)."""
+        """Return the solver registered under ``name``.
+
+        Args:
+            name: Solver name; the engine's default algorithm when omitted.
+
+        Returns:
+            The registered solver instance.
+
+        Raises:
+            QueryError: If ``name`` does not match a registered solver.
+        """
         key = (name or self._default_algorithm).lower()
         if key not in self._solvers:
             raise QueryError(f"unknown algorithm {name!r}; known: {sorted(self._solvers)}")
@@ -101,13 +219,20 @@ class LCMSREngine:
 
     # ------------------------------------------------------------------ querying
     def build_instance(self, query: LCMSRQuery) -> ProblemInstance:
-        """Build the solver input for a query (exposed for advanced callers)."""
-        if self._scoring_mode is ScoringMode.TEXT_RELEVANCE:
+        """Build the solver input for a query (exposed for advanced callers).
+
+        Args:
+            query: The LCMSR query to derive the instance from.
+
+        Returns:
+            The windowed, weighted :class:`~repro.core.instance.ProblemInstance`.
+        """
+        if self.scoring_mode is ScoringMode.TEXT_RELEVANCE:
             return build_instance(
-                self._network, query, grid_index=self._grid, mapping=self._mapping
+                self.network, query, grid_index=self.grid, mapping=self.mapping
             )
         # Rating / language-model scoring bypasses the TF-IDF postings.
-        return build_instance(self._network, query, scorer=self._scorer)
+        return build_instance(self.network, query, scorer=self._bundle.scorer)
 
     def query(
         self,
@@ -124,6 +249,13 @@ class LCMSREngine:
             region: Region of interest ``Q.Λ``; the whole network when omitted.
             algorithm: "app", "tgen", "greedy" or "exact"; the engine default when
                 omitted.
+
+        Returns:
+            The best region found (empty when nothing in the window matches).
+
+        Raises:
+            QueryError: On an empty keyword set, negative ``delta`` or unknown
+                algorithm name.
         """
         lcmsr_query = LCMSRQuery.create(keywords, delta=delta, region=region)
         instance = self.build_instance(lcmsr_query)
@@ -137,7 +269,22 @@ class LCMSREngine:
         region: Optional[Rectangle] = None,
         algorithm: Optional[str] = None,
     ) -> TopKResult:
-        """Answer a top-k LCMSR query (Section 6.2)."""
+        """Answer a top-k LCMSR query (Section 6.2).
+
+        Args:
+            keywords: Query keywords ``Q.ψ``.
+            delta: Length constraint ``Q.∆``.
+            k: Number of distinct regions to return.
+            region: Region of interest ``Q.Λ``; the whole network when omitted.
+            algorithm: Solver name; the engine default when omitted.
+
+        Returns:
+            Up to ``k`` distinct regions in decreasing score order.
+
+        Raises:
+            QueryError: On an empty keyword set, negative ``delta``, ``k < 1`` or
+                unknown algorithm name.
+        """
         lcmsr_query = LCMSRQuery.create(keywords, delta=delta, region=region, k=k)
         instance = self.build_instance(lcmsr_query)
         return self.solver(algorithm).solve_topk(instance, k)

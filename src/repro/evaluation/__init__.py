@@ -16,7 +16,12 @@ from repro.evaluation.metrics import (
 from repro.evaluation.runner import ExperimentRunner, AlgorithmRun, QueryOutcome
 from repro.evaluation.sweeps import ParameterSweep, SweepPoint
 from repro.evaluation.survey import SimulatedAnnotator, SurveyResult, run_survey
-from repro.evaluation.reporting import format_table, format_series
+from repro.evaluation.reporting import (
+    format_table,
+    format_series,
+    format_service_stats,
+    format_query_timings,
+)
 
 __all__ = [
     "relative_ratio",
@@ -33,4 +38,6 @@ __all__ = [
     "run_survey",
     "format_table",
     "format_series",
+    "format_service_stats",
+    "format_query_timings",
 ]

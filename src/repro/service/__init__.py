@@ -1,0 +1,37 @@
+"""Serving layer: batched concurrent query execution with caching.
+
+This subpackage turns the one-query-at-a-time :class:`~repro.engine.LCMSREngine`
+into a high-throughput service:
+
+* :class:`IndexBundle` — the engine's query-independent index state (network,
+  object mapping, vector-space model, grid + inverted lists, scorer), built once
+  and shared immutably across engines and worker threads.
+* :class:`QueryService` — the batch front end: ``submit`` / ``submit_many`` /
+  ``run_batch`` over a worker pool, an LRU result cache keyed on normalized query
+  parameters, and an LRU instance cache that lets repeated keyword sets skip
+  ``build_instance`` and subgraph extraction.
+* :class:`LRUCache` / :class:`CacheStats` — the thread-safe cache primitive.
+* :class:`ServiceStats` / :class:`QueryTiming` — per-query timing and aggregate
+  accounting, rendered by :func:`repro.evaluation.reporting.format_service_stats`.
+"""
+
+from repro.service.bundle import IndexBundle
+from repro.service.cache import CacheStats, LRUCache
+from repro.service.keys import InstanceKey, ResultKey, normalize_keywords
+from repro.service.query_service import QueryRequest, QueryService, ServiceResult
+from repro.service.stats import QueryTiming, ServiceStats, StatsCollector
+
+__all__ = [
+    "IndexBundle",
+    "QueryService",
+    "QueryRequest",
+    "ServiceResult",
+    "LRUCache",
+    "CacheStats",
+    "InstanceKey",
+    "ResultKey",
+    "normalize_keywords",
+    "QueryTiming",
+    "ServiceStats",
+    "StatsCollector",
+]

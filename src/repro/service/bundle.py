@@ -1,0 +1,127 @@
+"""The shared, immutable index state behind an engine: one build, many queries.
+
+Historically :class:`~repro.engine.LCMSREngine` built the object → node mapping, the
+vector-space model, the grid + inverted-list index and the relevance scorer inline in
+its constructor, which made the index state impossible to share: every engine (and
+every worker that wanted its own engine) paid the full offline build again.
+:class:`IndexBundle` extracts that construction into a standalone, reusable value
+object. A bundle is built once — :meth:`IndexBundle.build` — and can then back any
+number of engines and any number of :class:`~repro.service.query_service.QueryService`
+workers concurrently: after construction the bundle is never mutated, so sharing it
+across threads is safe.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.exceptions import QueryError
+from repro.index.grid import GridIndex
+from repro.network.graph import RoadNetwork
+from repro.objects.corpus import ObjectCorpus
+from repro.objects.mapping import NodeObjectMap, map_objects_to_network
+from repro.textindex.relevance import RelevanceScorer, ScoringMode
+from repro.textindex.vector_space import VectorSpaceModel
+
+
+@dataclass(frozen=True)
+class IndexBundle:
+    """Everything the serving path needs that is query-independent.
+
+    Attributes:
+        network: The road network (paper Section 2's graph ``G``).
+        corpus: The geo-textual objects ``O``.
+        mapping: The object → nearest-node mapping that turns object scores into the
+            node weights σ_v.
+        vsm: The corpus-wide TF-IDF vector-space model (Section 3, Equation 2).
+        grid: The grid + inverted-list index probed on the hot path.
+        scorer: The direct relevance scorer (used when ``scoring_mode`` is not
+            ``TEXT_RELEVANCE``, and for index cross-checks).
+        scoring_mode: Which per-object weight definition the bundle scores with.
+        grid_resolution: The resolution the grid was built with (kept for reporting).
+        build_seconds: Wall-clock time of each offline build step plus a ``"total"``
+            entry; mirrors the paper's offline / online cost split.
+    """
+
+    network: RoadNetwork
+    corpus: ObjectCorpus
+    mapping: NodeObjectMap
+    vsm: VectorSpaceModel
+    grid: GridIndex
+    scorer: RelevanceScorer
+    scoring_mode: ScoringMode
+    grid_resolution: int
+    build_seconds: Dict[str, float]
+
+    @classmethod
+    def build(
+        cls,
+        network: RoadNetwork,
+        corpus: ObjectCorpus,
+        grid_resolution: int = 48,
+        scoring_mode: ScoringMode = ScoringMode.TEXT_RELEVANCE,
+    ) -> "IndexBundle":
+        """Run the full offline indexing pipeline once.
+
+        Args:
+            network: The road network to index.
+            corpus: The geo-textual objects to index.
+            grid_resolution: Cells per axis of the spatial grid; must be positive.
+            scoring_mode: Per-object weight definition (see
+                :class:`~repro.textindex.relevance.ScoringMode`).
+
+        Returns:
+            The immutable bundle holding every index structure.
+
+        Raises:
+            QueryError: If ``grid_resolution`` is not a positive integer — raised
+                before any expensive build work starts so misconfiguration fails
+                fast.
+        """
+        if not isinstance(grid_resolution, int) or grid_resolution <= 0:
+            raise QueryError(
+                f"grid_resolution must be a positive integer, got {grid_resolution!r}"
+            )
+        timings: Dict[str, float] = {}
+        total_start = time.perf_counter()
+
+        start = time.perf_counter()
+        mapping = map_objects_to_network(network, corpus)
+        timings["mapping"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        vsm = VectorSpaceModel(corpus)
+        timings["vsm"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        grid = GridIndex(corpus, resolution=grid_resolution, vsm=vsm)
+        timings["grid"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        scorer = RelevanceScorer(corpus, mapping, mode=scoring_mode)
+        timings["scorer"] = time.perf_counter() - start
+
+        timings["total"] = time.perf_counter() - total_start
+        return cls(
+            network=network,
+            corpus=corpus,
+            mapping=mapping,
+            vsm=vsm,
+            grid=grid,
+            scorer=scorer,
+            scoring_mode=scoring_mode,
+            grid_resolution=grid_resolution,
+            build_seconds=timings,
+        )
+
+    def describe(self) -> str:
+        """One-line summary of the indexed dataset (used in logs and reports)."""
+        return (
+            f"{self.network.num_nodes} nodes / {self.network.num_edges} edges, "
+            f"{len(self.corpus)} objects, grid {self.grid_resolution}x{self.grid_resolution} "
+            f"({self.grid.num_nonempty_cells} non-empty cells), "
+            f"scoring={self.scoring_mode.value}, "
+            f"built in {self.build_seconds.get('total', 0.0):.3f}s"
+        )

@@ -1,0 +1,134 @@
+"""Normalized cache keys for the serving layer.
+
+Two queries that differ only in presentation — keyword order, duplicate keywords,
+surrounding whitespace, letter case, or an equal-but-distinct ``Rectangle`` object —
+must hit the same cache entries. This module owns that normalization so the result
+cache and the instance cache agree on what "the same query" means:
+
+* :class:`ResultKey` identifies a full query execution — everything that can change
+  the answer: keywords, ``∆``, the window, ``k``, the resolved algorithm name and the
+  engine's scoring mode.
+* :class:`InstanceKey` identifies a built :class:`~repro.core.instance.ProblemInstance`
+  — only the inputs the index probe depends on (keywords, window, scoring mode).
+  ``∆``, ``k`` and the algorithm deliberately do not appear: the windowed graph and
+  the node weights are identical across them, which is exactly why the instance cache
+  can serve a ``∆``-sweep from one build.
+
+Keywords are sorted in keys (queries are sets in the paper, Definition 3) while the
+executed :class:`~repro.core.query.LCMSRQuery` preserves the caller's order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+from repro.network.subgraph import Rectangle
+from repro.textindex.relevance import ScoringMode
+
+RegionTupleKey = Tuple[float, float, float, float]
+
+
+def normalize_keywords(keywords: Iterable[str]) -> Tuple[str, ...]:
+    """Lower-case, strip, de-duplicate and sort a keyword iterable.
+
+    Args:
+        keywords: Raw keywords as the caller provided them.
+
+    Returns:
+        The canonical (sorted) keyword tuple used in cache keys.
+    """
+    return tuple(sorted({k.strip().lower() for k in keywords if k.strip()}))
+
+
+def region_key(region: Optional[Rectangle]) -> Optional[RegionTupleKey]:
+    """Collapse a query window to a hashable value (``None`` for "whole network")."""
+    if region is None:
+        return None
+    return (region.min_x, region.min_y, region.max_x, region.max_y)
+
+
+@dataclass(frozen=True)
+class InstanceKey:
+    """Cache key for a built problem instance (window graph + node weights).
+
+    Attributes:
+        keywords: Canonical keyword tuple (sorted, deduplicated, lower-cased).
+        region: The window as a coordinate tuple, or ``None`` for the whole network.
+        scoring_mode: The scoring mode the weights were computed under.
+    """
+
+    keywords: Tuple[str, ...]
+    region: Optional[RegionTupleKey]
+    scoring_mode: str
+
+    @staticmethod
+    def create(
+        keywords: Iterable[str],
+        region: Optional[Rectangle],
+        scoring_mode: ScoringMode,
+    ) -> "InstanceKey":
+        """Build the canonical instance key for a query's index probe."""
+        return InstanceKey(
+            keywords=normalize_keywords(keywords),
+            region=region_key(region),
+            scoring_mode=scoring_mode.value,
+        )
+
+
+@dataclass(frozen=True)
+class ResultKey:
+    """Cache key for a complete query execution.
+
+    Attributes:
+        keywords: Canonical keyword tuple.
+        delta: The length constraint ``Q.∆``.
+        region: The window as a coordinate tuple, or ``None``.
+        k: Number of requested regions (1 for plain LCMSR).
+        algorithm: The resolved (lower-case) solver name — the engine default is
+            resolved *before* the key is built, so "default" and its explicit name
+            share an entry.
+        scoring_mode: The engine's scoring mode.
+        solver_generation: The engine's
+            :attr:`~repro.engine.LCMSREngine.solver_generation` at execution time,
+            so ``configure_solver`` replacing a solver invalidates its cached
+            results instead of silently serving the old solver's answers.
+    """
+
+    keywords: Tuple[str, ...]
+    delta: float
+    region: Optional[RegionTupleKey]
+    k: int
+    algorithm: str
+    scoring_mode: str
+    solver_generation: int = 0
+
+    @staticmethod
+    def create(
+        keywords: Iterable[str],
+        delta: float,
+        region: Optional[Rectangle],
+        k: int,
+        algorithm: str,
+        scoring_mode: ScoringMode,
+        solver_generation: int = 0,
+    ) -> "ResultKey":
+        """Build the canonical result key for one query execution."""
+        return ResultKey(
+            keywords=normalize_keywords(keywords),
+            delta=float(delta),
+            region=region_key(region),
+            k=int(k),
+            algorithm=algorithm.lower(),
+            scoring_mode=scoring_mode.value,
+            solver_generation=int(solver_generation),
+        )
+
+    @property
+    def instance_key(self) -> InstanceKey:
+        """The instance-cache key this result's execution probes."""
+        return InstanceKey(
+            keywords=self.keywords,
+            region=self.region,
+            scoring_mode=self.scoring_mode,
+        )

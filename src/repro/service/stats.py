@@ -1,0 +1,126 @@
+"""Per-query timing records and aggregate serving statistics.
+
+Each query the :class:`~repro.service.query_service.QueryService` executes produces
+one :class:`QueryTiming`; :class:`ServiceStats` aggregates them together with the two
+caches' counters. ``evaluation.reporting`` renders these as the same fixed-width
+tables the benchmark figures use (:func:`repro.evaluation.reporting.format_service_stats`).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.service.cache import CacheStats
+from repro.service.keys import ResultKey
+
+
+@dataclass(frozen=True)
+class QueryTiming:
+    """The cost breakdown of one query served by the service.
+
+    Attributes:
+        key: The normalized result key the query executed under.
+        algorithm: The resolved solver name.
+        result_cache_hit: ``True`` when the answer came straight from the result
+            cache (build and solve times are then 0).
+        instance_cache_hit: ``True`` when the problem instance was reused from the
+            instance cache (build time is then 0).
+        build_seconds: Time spent building the problem instance (index probe +
+            window extraction); 0 on any cache hit.
+        solve_seconds: Time spent inside the solver; 0 on a result-cache hit.
+        total_seconds: End-to-end service time for this query, including key
+            normalization and cache probes.
+    """
+
+    key: ResultKey
+    algorithm: str
+    result_cache_hit: bool
+    instance_cache_hit: bool
+    build_seconds: float
+    solve_seconds: float
+    total_seconds: float
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """An immutable snapshot of a service's accumulated accounting.
+
+    Attributes:
+        timings: One record per executed query, in completion order.
+        result_cache: Snapshot of the result cache's counters.
+        instance_cache: Snapshot of the instance cache's counters.
+    """
+
+    timings: List[QueryTiming]
+    result_cache: CacheStats
+    instance_cache: CacheStats
+
+    @property
+    def queries(self) -> int:
+        """Number of queries served."""
+        return len(self.timings)
+
+    @property
+    def result_hits(self) -> int:
+        """Queries answered straight from the result cache."""
+        return sum(1 for t in self.timings if t.result_cache_hit)
+
+    @property
+    def instance_hits(self) -> int:
+        """Queries that reused a cached problem instance."""
+        return sum(1 for t in self.timings if t.instance_cache_hit)
+
+    @property
+    def total_build_seconds(self) -> float:
+        """Total instance-build time across all served queries."""
+        return sum(t.build_seconds for t in self.timings)
+
+    @property
+    def total_solve_seconds(self) -> float:
+        """Total solver time across all served queries."""
+        return sum(t.solve_seconds for t in self.timings)
+
+    @property
+    def total_seconds(self) -> float:
+        """Total end-to-end service time across all served queries."""
+        return sum(t.total_seconds for t in self.timings)
+
+    @property
+    def mean_latency_seconds(self) -> float:
+        """Mean end-to-end latency per query (0.0 when no queries ran)."""
+        return self.total_seconds / self.queries if self.queries else 0.0
+
+    @property
+    def result_hit_rate(self) -> float:
+        """Fraction of queries answered from the result cache."""
+        return self.result_hits / self.queries if self.queries else 0.0
+
+
+class StatsCollector:
+    """Mutable, lock-protected accumulator behind a service's ``stats()`` call."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._timings: List[QueryTiming] = []
+
+    def record(self, timing: QueryTiming) -> None:
+        """Append one query's timing record (thread-safe)."""
+        with self._lock:
+            self._timings.append(timing)
+
+    def reset(self) -> None:
+        """Drop all recorded timings."""
+        with self._lock:
+            self._timings.clear()
+
+    def snapshot(
+        self, result_cache: CacheStats, instance_cache: CacheStats
+    ) -> ServiceStats:
+        """Freeze the current state into an immutable :class:`ServiceStats`."""
+        with self._lock:
+            timings = list(self._timings)
+        return ServiceStats(
+            timings=timings, result_cache=result_cache, instance_cache=instance_cache
+        )

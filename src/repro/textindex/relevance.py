@@ -26,7 +26,13 @@ from repro.textindex.vector_space import VectorSpaceModel
 
 
 class ScoringMode(enum.Enum):
-    """Which per-object weight definition a scorer uses."""
+    """Which per-object weight definition a scorer uses.
+
+    The mode also selects the engine's scoring path: ``TEXT_RELEVANCE`` scores
+    through the grid index's TF-IDF postings (the paper's indexed hot path), while
+    ``RATING_IF_MATCH`` and ``LANGUAGE_MODEL`` bypass the postings and score each
+    object directly through :class:`RelevanceScorer`.
+    """
 
     TEXT_RELEVANCE = "text_relevance"
     """Vector-space TF-IDF relevance (the paper's default)."""

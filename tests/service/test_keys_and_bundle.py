@@ -1,0 +1,85 @@
+"""Tests for query-key normalization and the shared IndexBundle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import LCMSREngine
+from repro.exceptions import QueryError
+from repro.network.subgraph import Rectangle
+from repro.service.bundle import IndexBundle
+from repro.service.keys import InstanceKey, ResultKey, normalize_keywords
+from repro.textindex.relevance import ScoringMode
+
+
+class TestNormalization:
+    def test_keywords_sorted_deduplicated_lowercased(self):
+        assert normalize_keywords([" Cafe", "restaurant", "CAFE", ""]) == (
+            "cafe",
+            "restaurant",
+        )
+
+    def test_equivalent_queries_share_result_key(self):
+        window = Rectangle(0.0, 0.0, 100.0, 100.0)
+        a = ResultKey.create(["cafe", "bar"], 100.0, window, 1, "TGEN",
+                             ScoringMode.TEXT_RELEVANCE)
+        b = ResultKey.create(["Bar", "cafe", "bar"], 100, Rectangle(0, 0, 100, 100),
+                             1, "tgen", ScoringMode.TEXT_RELEVANCE)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_distinct_parameters_distinct_keys(self):
+        base = dict(keywords=["cafe"], delta=100.0, region=None, k=1,
+                    algorithm="tgen", scoring_mode=ScoringMode.TEXT_RELEVANCE)
+        key = ResultKey.create(**base)
+        assert key != ResultKey.create(**{**base, "delta": 200.0})
+        assert key != ResultKey.create(**{**base, "algorithm": "greedy"})
+        assert key != ResultKey.create(**{**base, "k": 2})
+        assert key != ResultKey.create(
+            **{**base, "region": Rectangle(0.0, 0.0, 1.0, 1.0)}
+        )
+
+    def test_instance_key_ignores_delta_k_and_algorithm(self):
+        a = ResultKey.create(["cafe"], 100.0, None, 1, "tgen",
+                             ScoringMode.TEXT_RELEVANCE)
+        b = ResultKey.create(["cafe"], 900.0, None, 3, "greedy",
+                             ScoringMode.TEXT_RELEVANCE)
+        assert a.instance_key == b.instance_key
+        assert isinstance(a.instance_key, InstanceKey)
+
+
+class TestIndexBundle:
+    def test_build_validates_resolution(self, tiny_ny_dataset):
+        with pytest.raises(QueryError):
+            IndexBundle.build(tiny_ny_dataset.network, tiny_ny_dataset.corpus,
+                              grid_resolution=0)
+        with pytest.raises(QueryError):
+            IndexBundle.build(tiny_ny_dataset.network, tiny_ny_dataset.corpus,
+                              grid_resolution=-3)
+
+    def test_build_populates_every_component(self, tiny_ny_dataset):
+        bundle = IndexBundle.build(tiny_ny_dataset.network, tiny_ny_dataset.corpus,
+                                   grid_resolution=16)
+        assert bundle.network is tiny_ny_dataset.network
+        assert bundle.corpus is tiny_ny_dataset.corpus
+        assert bundle.mapping.num_mapped == len(tiny_ny_dataset.corpus)
+        assert bundle.grid.num_nonempty_cells > 0
+        assert bundle.grid_resolution == 16
+        assert bundle.build_seconds["total"] > 0
+        assert {"mapping", "vsm", "grid", "scorer"} <= set(bundle.build_seconds)
+        assert "16x16" in bundle.describe()
+
+    def test_engines_share_one_bundle(self, tiny_ny_dataset):
+        engine = LCMSREngine(tiny_ny_dataset.network, tiny_ny_dataset.corpus)
+        sibling = LCMSREngine.from_bundle(engine.bundle, default_algorithm="greedy")
+        assert sibling.bundle is engine.bundle
+        assert sibling.grid is engine.grid
+        assert sibling.default_algorithm == "greedy"
+        a = engine.query(["restaurant"], delta=1000.0, algorithm="tgen")
+        b = sibling.query(["restaurant"], delta=1000.0, algorithm="tgen")
+        assert a.region.nodes == b.region.nodes
+
+    def test_from_bundle_rejects_unknown_default(self, tiny_ny_dataset):
+        engine = LCMSREngine(tiny_ny_dataset.network, tiny_ny_dataset.corpus)
+        with pytest.raises(QueryError):
+            LCMSREngine.from_bundle(engine.bundle, default_algorithm="nope")
