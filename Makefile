@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test docs-check bench-service bench
+.PHONY: test docs-check bench-service bench bench-smoke
 
 # Tier-1 suite (includes the docs link/section check).
 test:
@@ -19,3 +19,10 @@ bench-service:
 # pattern, so the collection pattern is widened explicitly.
 bench:
 	$(PYTHON) -m pytest benchmarks/ -q -o python_files="bench_*.py"
+
+# Every benchmark at its smallest configuration (1 query/setting, smallest
+# datasets) under a hard time cap — a quick regression gate over the whole
+# benchmark surface, including the network-backend comparison.
+bench-smoke:
+	REPRO_BENCH_SMOKE=1 timeout 1200 $(PYTHON) -m pytest benchmarks/ -q \
+		-o python_files="bench_*.py"

@@ -15,7 +15,9 @@ mapped through a single scale factor:
 
 Set the environment variable ``REPRO_BENCH_QUERIES`` (default 3) to run more queries
 per setting, and ``REPRO_BENCH_FULL=1`` to use a larger dataset closer to the paper's
-relative scale (slower).
+relative scale (slower). ``REPRO_BENCH_SMOKE=1`` does the opposite: one query per
+setting on the smallest datasets, so the whole benchmark suite doubles as a quick
+regression gate (``make bench-smoke`` runs it under a time cap).
 """
 
 from __future__ import annotations
@@ -35,8 +37,11 @@ from repro.evaluation.runner import ExperimentRunner
 SPATIAL_SCALE = 0.2
 """Kilometre-scale factor between the paper's workloads and the bench workloads."""
 
-QUERIES_PER_SETTING = int(os.environ.get("REPRO_BENCH_QUERIES", "2"))
-FULL_SCALE = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+SMOKE_SCALE = os.environ.get("REPRO_BENCH_SMOKE", "0") == "1"
+QUERIES_PER_SETTING = (
+    1 if SMOKE_SCALE else int(os.environ.get("REPRO_BENCH_QUERIES", "2"))
+)
+FULL_SCALE = os.environ.get("REPRO_BENCH_FULL", "0") == "1" and not SMOKE_SCALE
 
 
 def paper_km_to_bench_meters(km: float) -> float:
@@ -83,6 +88,9 @@ def ny_dataset() -> SyntheticDataset:
     if FULL_SCALE:
         return build_ny_like(rows=70, cols=70, block_size=120.0, num_objects=18000,
                              num_clusters=60, seed=42)
+    if SMOKE_SCALE:
+        return build_ny_like(rows=26, cols=26, block_size=120.0, num_objects=2200,
+                             num_clusters=14, seed=42)
     return build_ny_like(rows=42, cols=42, block_size=120.0, num_objects=6000,
                          num_clusters=28, seed=42)
 
@@ -93,6 +101,9 @@ def usanw_dataset() -> SyntheticDataset:
     if FULL_SCALE:
         return build_usanw_like(num_nodes=6000, extent=28000.0, num_objects=6000,
                                 num_clusters=45, seed=97)
+    if SMOKE_SCALE:
+        return build_usanw_like(num_nodes=900, extent=10000.0, num_objects=900,
+                                num_clusters=12, seed=97)
     return build_usanw_like(num_nodes=2200, extent=16000.0, num_objects=2200,
                             num_clusters=22, seed=97)
 

@@ -55,7 +55,7 @@ from repro.core import (
     TopKResult,
     build_instance,
 )
-from repro.network import RoadNetwork, Rectangle
+from repro.network import CompactNetwork, GraphView, Rectangle, RoadNetwork
 from repro.objects import GeoTextualObject, ObjectCorpus, map_objects_to_network
 from repro.index import GridIndex
 from repro.baselines import MaxRSSolver
@@ -83,6 +83,8 @@ __all__ = [
     "ExactSolver",
     "MaxRSSolver",
     "RoadNetwork",
+    "CompactNetwork",
+    "GraphView",
     "Rectangle",
     "GeoTextualObject",
     "ObjectCorpus",

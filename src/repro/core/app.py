@@ -31,7 +31,7 @@ from repro.core.result import RegionResult, TopKResult
 from repro.core.scaling import ScalingContext
 from repro.core.tuples import RegionTuple, TupleArray
 from repro.exceptions import SolverError
-from repro.network.graph import RoadNetwork
+from repro.network.compact import GraphView
 
 
 @dataclass
@@ -281,7 +281,7 @@ class APPSolver:
 # ---------------------------------------------------------------------------- findOptTree
 def find_opt_tree(
     candidate_tree: CandidateTree,
-    graph: RoadNetwork,
+    graph: GraphView,
     weights: Mapping[int, float],
     scaled_weights: Mapping[int, int],
     delta: float,

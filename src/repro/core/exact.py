@@ -21,7 +21,8 @@ from repro.core.instance import ProblemInstance
 from repro.core.region import Region
 from repro.core.result import RegionResult, TopKResult
 from repro.exceptions import SolverError
-from repro.network.graph import RoadNetwork, edge_key
+from repro.network.compact import GraphView
+from repro.network.graph import edge_key
 
 
 class ExactSolver:
@@ -126,7 +127,7 @@ class ExactSolver:
         return regions
 
 
-def _connected_subsets(graph: RoadNetwork, nodes: List[int]):
+def _connected_subsets(graph: GraphView, nodes: List[int]):
     """Yield every connected non-empty node subset of ``graph`` exactly once.
 
     Uses the standard anchored enumeration: for each anchor ``r`` (in increasing id
@@ -145,7 +146,7 @@ def _connected_subsets(graph: RoadNetwork, nodes: List[int]):
 
 
 def _grow(
-    graph: RoadNetwork,
+    graph: GraphView,
     allowed: Set[int],
     subset: Set[int],
     frontier: List[int],
@@ -174,7 +175,7 @@ def _grow(
 
 
 def _induced_mst(
-    graph: RoadNetwork, subset: FrozenSet[int]
+    graph: GraphView, subset: FrozenSet[int]
 ) -> Optional[Tuple[float, List[Tuple[int, int]]]]:
     """Return (length, edges) of the MST of the subgraph induced by ``subset``.
 

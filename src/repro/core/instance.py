@@ -17,8 +17,8 @@ from typing import Dict, Iterable, Mapping, Optional, Set
 from repro.core.query import LCMSRQuery
 from repro.exceptions import QueryError
 from repro.index.grid import GridIndex
-from repro.network.graph import RoadNetwork
-from repro.network.subgraph import Rectangle, induced_subgraph, nodes_in_rectangle
+from repro.network.compact import GraphView
+from repro.network.subgraph import Rectangle, induced_subgraph
 from repro.objects.mapping import NodeObjectMap
 from repro.textindex.relevance import RelevanceScorer
 
@@ -29,7 +29,11 @@ class ProblemInstance:
 
     Attributes:
         graph: The sub-network induced by the nodes inside ``Q.Λ`` (or the full
-            network when the query has no window).
+            network when the query has no window). Either backend — a dict-backed
+            :class:`~repro.network.graph.RoadNetwork` or a frozen
+            :class:`~repro.network.compact.CompactNetwork` window view — solvers
+            treat it as read-only and code against the
+            :class:`~repro.network.compact.GraphView` protocol.
         weights: Positive node weights σ_v for the relevant nodes; nodes absent from
             the mapping have weight 0.
         query: The originating LCMSR query.
@@ -38,7 +42,7 @@ class ProblemInstance:
             online split.
     """
 
-    graph: RoadNetwork
+    graph: GraphView
     weights: Dict[int, float]
     query: LCMSRQuery
     build_seconds: float = 0.0
@@ -87,7 +91,7 @@ class ProblemInstance:
 
 
 def build_instance(
-    network: RoadNetwork,
+    network: GraphView,
     query: LCMSRQuery,
     grid_index: Optional[GridIndex] = None,
     mapping: Optional[NodeObjectMap] = None,
@@ -128,7 +132,11 @@ def build_instance(
     if query.region is not None:
         window_graph = induced_subgraph(network, query.region)
     else:
-        window_graph = network.copy()
+        # A window-less query spans the whole network. Solvers treat instance
+        # graphs as read-only, so the shared graph is used directly — deep-copying
+        # it per instance was pure overhead (and pinned one full copy per cached
+        # instance in the serving layer).
+        window_graph = network
     window_nodes = set(window_graph.node_ids())
 
     weights: Dict[int, float]

@@ -31,7 +31,8 @@ from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence,
 
 from repro.core.pcst import goemans_williamson_pcst
 from repro.exceptions import SolverError
-from repro.network.graph import RoadNetwork, edge_key
+from repro.network.compact import GraphView
+from repro.network.graph import edge_key
 from repro.network.shortest_path import dijkstra
 
 _DEFAULT_LAMBDA_FACTORS: Tuple[float, ...] = (
@@ -79,7 +80,7 @@ class QuotaTreeSolver:
 
     def __init__(
         self,
-        graph: RoadNetwork,
+        graph: GraphView,
         weights: Mapping[int, float],
         scaled_weights: Mapping[int, int],
         closure_neighbors: int = 8,

@@ -23,6 +23,7 @@ from repro.core.result import RegionResult, TopKResult
 from repro.core.tgen import TGENSolver
 from repro.exceptions import QueryError
 from repro.index.grid import GridIndex
+from repro.network.compact import GraphView
 from repro.network.graph import RoadNetwork
 from repro.network.subgraph import Rectangle
 from repro.objects.corpus import ObjectCorpus
@@ -151,8 +152,18 @@ class LCMSREngine:
 
     @property
     def network(self) -> RoadNetwork:
-        """The indexed road network."""
+        """The indexed road network (the mutable dict-backed original)."""
         return self._bundle.network
+
+    @property
+    def graph_view(self) -> "GraphView":
+        """The network representation queries traverse.
+
+        The bundle's frozen CSR snapshot when available (the default), the
+        dict-backed network otherwise; see :meth:`IndexBundle.graph_view
+        <repro.service.bundle.IndexBundle.graph_view>`.
+        """
+        return self._bundle.graph_view()
 
     @property
     def corpus(self) -> ObjectCorpus:
@@ -221,18 +232,23 @@ class LCMSREngine:
     def build_instance(self, query: LCMSRQuery) -> ProblemInstance:
         """Build the solver input for a query (exposed for advanced callers).
 
+        The window subgraph is extracted from the bundle's frozen CSR snapshot
+        when one exists — the vectorised path — and from the dict-backed network
+        otherwise. Either way the instance carries a read-only graph view.
+
         Args:
             query: The LCMSR query to derive the instance from.
 
         Returns:
             The windowed, weighted :class:`~repro.core.instance.ProblemInstance`.
         """
+        graph = self._bundle.graph_view()
         if self.scoring_mode is ScoringMode.TEXT_RELEVANCE:
             return build_instance(
-                self.network, query, grid_index=self.grid, mapping=self.mapping
+                graph, query, grid_index=self.grid, mapping=self.mapping
             )
         # Rating / language-model scoring bypasses the TF-IDF postings.
-        return build_instance(self.network, query, scorer=self._bundle.scorer)
+        return build_instance(graph, query, scorer=self._bundle.scorer)
 
     def query(
         self,

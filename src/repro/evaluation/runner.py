@@ -79,17 +79,21 @@ class ExperimentRunner:
     def __init__(self, dataset: SyntheticDataset, use_grid_index: bool = True) -> None:
         self._dataset = dataset
         self._use_grid_index = use_grid_index
+        # Freeze the network once: every instance build then windows the CSR
+        # snapshot instead of rebuilding dict subgraphs (results are identical
+        # on both backends; see tests/core/test_backend_parity.py).
+        self._graph = dataset.network.freeze()
 
     def build(self, query: LCMSRQuery) -> ProblemInstance:
         """Build the solver input for one query."""
         if self._use_grid_index:
             return build_instance(
-                self._dataset.network,
+                self._graph,
                 query,
                 grid_index=self._dataset.grid,
                 mapping=self._dataset.mapping,
             )
-        return build_instance(self._dataset.network, query, scorer=self._dataset.scorer)
+        return build_instance(self._graph, query, scorer=self._dataset.scorer)
 
     def run(
         self,

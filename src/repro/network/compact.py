@@ -1,0 +1,506 @@
+"""Frozen CSR (compressed sparse row) snapshots of road networks.
+
+:class:`~repro.network.graph.RoadNetwork` is a mutable dict-of-dicts structure —
+ideal while a network is being built, wasteful once it only gets read: every query
+used to re-materialise node and adjacency dictionaries for its window, and every
+traversal paid Python hashing per neighbour hop. :class:`CompactNetwork` is the
+read-optimised counterpart: an immutable snapshot holding the graph as flat arrays
+
+* ``ids``      — node identifiers, in the source network's iteration order;
+* ``xs / ys``  — planar coordinates (float64), aligned with ``ids``;
+* ``indptr``   — CSR row pointers (int32), one entry per node plus one;
+* ``indices``  — CSR column indices (int32 dense node positions), each undirected
+  edge appearing once per direction;
+* ``lengths``  — edge lengths (float64), aligned with ``indices``.
+
+Snapshots are created once — :meth:`CompactNetwork.from_network` (or
+:meth:`RoadNetwork.freeze <repro.network.graph.RoadNetwork.freeze>`) — and shared
+read-only by every consumer thereafter: they are safe to use concurrently and cheap
+to pickle (only the six arrays cross process boundaries), which is what makes them
+the unit of sharding and multiprocess serving.
+
+Two further properties matter for correctness:
+
+* **Order preservation.** The CSR rows and the per-row neighbour order replicate the
+  source network's iteration order exactly, and :meth:`window_view` /
+  :meth:`subgraph` preserve the snapshot's relative order. Traversals that break
+  ties by discovery order therefore behave identically on both backends.
+* **O(|V|) windowing.** :meth:`window_view` filters nodes with one vectorised
+  coordinate comparison and re-numbers the CSR with a handful of numpy kernels —
+  no per-node or per-edge Python work — which is where the per-query speedup of the
+  compact backend comes from.
+
+:class:`GraphView` is the minimal protocol shared by :class:`RoadNetwork` and
+:class:`CompactNetwork`; solver and routing code is written against it so either
+backend can be plugged in.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Protocol,
+    Sequence,
+    Set,
+    Tuple,
+    runtime_checkable,
+)
+
+import numpy as np
+
+from repro.exceptions import EdgeNotFoundError, GraphError, NodeNotFoundError
+from repro.network.graph import Edge, Node, RoadNetwork
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.network.subgraph import Rectangle
+
+
+@runtime_checkable
+class GraphView(Protocol):
+    """The read-only graph surface the LCMSR algorithms are written against.
+
+    Both the mutable :class:`~repro.network.graph.RoadNetwork` and the frozen
+    :class:`CompactNetwork` satisfy this protocol, so solvers, Dijkstra and the
+    instance builder accept either backend interchangeably.
+    """
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes in the view."""
+        ...
+
+    def node_ids(self) -> Iterator[int]:
+        """Iterate over all node identifiers."""
+        ...
+
+    def neighbor_items(self, node_id: int) -> Iterable[Tuple[int, float]]:
+        """Iterate over ``(neighbor_id, edge_length)`` pairs of ``node_id``."""
+        ...
+
+    def degree(self, node_id: int) -> int:
+        """Return the number of incident edges of ``node_id``."""
+        ...
+
+    def edge_length(self, u: int, v: int) -> float:
+        """Return the road-segment length τ(u, v)."""
+        ...
+
+    def coords(self, node_id: int) -> Tuple[float, float]:
+        """Return the planar ``(x, y)`` embedding of ``node_id``."""
+        ...
+
+    def contains(self, node_id: int) -> bool:
+        """Return ``True`` if ``node_id`` is a node of the view."""
+        ...
+
+
+class CompactNetwork:
+    """An immutable CSR snapshot of a road network (see the module docstring).
+
+    Instances are normally obtained through :meth:`from_network`,
+    :meth:`window_view` or :meth:`subgraph` rather than the raw constructor. The
+    read API mirrors :class:`~repro.network.graph.RoadNetwork` exactly (minus the
+    mutators), so a snapshot is a drop-in replacement wherever a network is only
+    read.
+    """
+
+    __slots__ = (
+        "_ids",
+        "_xs",
+        "_ys",
+        "_indptr",
+        "_indices",
+        "_lengths",
+        "_ids_list",
+        "_indptr_list",
+        "_nbr_ids_list",
+        "_nbr_pos_list",
+        "_lengths_list",
+        "_nbr_pairs_list",
+        "_id_to_index",
+        "_num_edges",
+        "_row_of_entry",
+        "_length_stats",
+    )
+
+    def __init__(
+        self,
+        ids: np.ndarray,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        lengths: np.ndarray,
+    ) -> None:
+        self._ids = np.asarray(ids, dtype=np.int64)
+        self._xs = np.asarray(xs, dtype=np.float64)
+        self._ys = np.asarray(ys, dtype=np.float64)
+        self._indptr = np.asarray(indptr, dtype=np.int32)
+        self._indices = np.asarray(indices, dtype=np.int32)
+        self._lengths = np.asarray(lengths, dtype=np.float64)
+        n = self._ids.shape[0]
+        if self._xs.shape[0] != n or self._ys.shape[0] != n:
+            raise GraphError("coordinate arrays must align with the id array")
+        if self._indptr.shape[0] != n + 1:
+            raise GraphError("indptr must have num_nodes + 1 entries")
+        if self._indices.shape[0] != self._lengths.shape[0]:
+            raise GraphError("indices and lengths must align")
+        # Flat Python mirrors: traversal loops index these instead of numpy arrays
+        # because per-element numpy access costs far more than list indexing.
+        self._ids_list: List[int] = self._ids.tolist()
+        self._indptr_list: List[int] = self._indptr.tolist()
+        self._nbr_ids_list: List[int] = (
+            self._ids[self._indices].tolist() if self._indices.size else []
+        )
+        self._nbr_pos_list: List[int] = self._indices.tolist()
+        self._lengths_list: List[float] = self._lengths.tolist()
+        # Pre-zipped (neighbor_id, length) pairs: neighbor_items() slices this one
+        # flat list (pointer copies only) instead of zipping two slices per call,
+        # which would allocate fresh tuples on every visit of a node.
+        self._nbr_pairs_list: List[Tuple[int, float]] = list(
+            zip(self._nbr_ids_list, self._lengths_list)
+        )
+        self._id_to_index: Dict[int, int] = {
+            node_id: index for index, node_id in enumerate(self._ids_list)
+        }
+        if len(self._id_to_index) != n:
+            raise GraphError("duplicate node ids in snapshot")
+        self._num_edges = self._indices.shape[0] // 2
+        self._row_of_entry: np.ndarray | None = None  # lazy np.repeat cache
+        self._length_stats: Tuple[float, float, float] | None = None
+
+    # ------------------------------------------------------------------ construction
+    @classmethod
+    def from_network(cls, network: "GraphView") -> "CompactNetwork":
+        """Freeze ``network`` into a CSR snapshot.
+
+        Node order and per-node neighbour order replicate the source network's
+        iteration order, so traversals tie-break identically on both backends.
+        Freezing a :class:`CompactNetwork` returns it unchanged (snapshots are
+        immutable, so sharing is always safe).
+        """
+        if isinstance(network, CompactNetwork):
+            return network
+        ids: List[int] = []
+        xs: List[float] = []
+        ys: List[float] = []
+        for node_id in network.node_ids():
+            x, y = network.coords(node_id)
+            ids.append(node_id)
+            xs.append(x)
+            ys.append(y)
+        id_to_index = {node_id: index for index, node_id in enumerate(ids)}
+        indptr: List[int] = [0]
+        indices: List[int] = []
+        lengths: List[float] = []
+        for node_id in ids:
+            for neighbor_id, length in network.neighbor_items(node_id):
+                indices.append(id_to_index[neighbor_id])
+                lengths.append(length)
+            indptr.append(len(indices))
+        return cls(
+            np.asarray(ids, dtype=np.int64),
+            np.asarray(xs, dtype=np.float64),
+            np.asarray(ys, dtype=np.float64),
+            np.asarray(indptr, dtype=np.int32),
+            np.asarray(indices, dtype=np.int32),
+            np.asarray(lengths, dtype=np.float64),
+        )
+
+    def to_network(self) -> RoadNetwork:
+        """Thaw the snapshot back into a mutable :class:`RoadNetwork`."""
+        network = RoadNetwork()
+        for index, node_id in enumerate(self._ids_list):
+            network.add_node(node_id, self._xs[index], self._ys[index])
+        for edge in self.edges():
+            network.add_edge(edge.u, edge.v, edge.length)
+        return network
+
+    def __reduce__(self):
+        # Pickle only the six defining arrays; every derived structure (flat list
+        # mirrors, the id map) is rebuilt on unpickling.
+        return (
+            CompactNetwork,
+            (self._ids, self._xs, self._ys, self._indptr, self._indices, self._lengths),
+        )
+
+    # ------------------------------------------------------------------ inspection
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._id_to_index
+
+    def contains(self, node_id: int) -> bool:
+        """Return ``True`` if ``node_id`` is a node of the snapshot."""
+        return node_id in self._id_to_index
+
+    def __len__(self) -> int:
+        return len(self._ids_list)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes in the snapshot."""
+        return len(self._ids_list)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges in the snapshot."""
+        return self._num_edges
+
+    def index_of(self, node_id: int) -> int:
+        """Return the dense array position of ``node_id``.
+
+        Raises:
+            NodeNotFoundError: If ``node_id`` is not in the snapshot.
+        """
+        try:
+            return self._id_to_index[node_id]
+        except KeyError:
+            raise NodeNotFoundError(node_id) from None
+
+    def adjacency_arrays(
+        self,
+    ) -> Tuple[List[int], List[int], List[int], List[float], List[int]]:
+        """Return ``(indptr, positions, neighbor_ids, lengths, ids)`` flat lists.
+
+        This is the traversal surface used by array-indexed kernels (e.g. the CSR
+        Dijkstra): row ``i`` of the CSR spans ``indptr[i]:indptr[i + 1]`` in the
+        flat ``positions`` (dense node positions), ``neighbor_ids`` and
+        ``lengths`` lists, and ``ids[p]`` maps a dense position back to a node
+        id. The lists are shared, not copied — callers must treat them as
+        read-only.
+        """
+        return (
+            self._indptr_list,
+            self._nbr_pos_list,
+            self._nbr_ids_list,
+            self._lengths_list,
+            self._ids_list,
+        )
+
+    def csr_index_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return the raw ``(indptr, indices, lengths)`` numpy arrays (read-only)."""
+        return self._indptr, self._indices, self._lengths
+
+    def node(self, node_id: int) -> Node:
+        """Return the :class:`Node` for ``node_id``; raises :class:`NodeNotFoundError`."""
+        index = self.index_of(node_id)
+        return Node(node_id, float(self._xs[index]), float(self._ys[index]))
+
+    def coords(self, node_id: int) -> Tuple[float, float]:
+        """Return the ``(x, y)`` embedding of ``node_id``."""
+        index = self.index_of(node_id)
+        return (float(self._xs[index]), float(self._ys[index]))
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over all nodes."""
+        for index, node_id in enumerate(self._ids_list):
+            yield Node(node_id, float(self._xs[index]), float(self._ys[index]))
+
+    def node_ids(self) -> Iterator[int]:
+        """Iterate over all node identifiers (snapshot order)."""
+        return iter(self._ids_list)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over all undirected edges, each reported once in normalised order."""
+        indptr = self._indptr_list
+        neighbor_ids = self._nbr_ids_list
+        lengths = self._lengths_list
+        for index, u in enumerate(self._ids_list):
+            for slot in range(indptr[index], indptr[index + 1]):
+                v = neighbor_ids[slot]
+                if u < v:
+                    yield Edge(u, v, lengths[slot])
+
+    def neighbors(self, node_id: int) -> Iterator[int]:
+        """Iterate over the neighbour identifiers of ``node_id``."""
+        index = self.index_of(node_id)
+        return iter(self._nbr_ids_list[self._indptr_list[index] : self._indptr_list[index + 1]])
+
+    def neighbor_items(self, node_id: int) -> Iterator[Tuple[int, float]]:
+        """Iterate over ``(neighbor_id, edge_length)`` pairs of ``node_id``."""
+        index = self.index_of(node_id)
+        return iter(self._nbr_pairs_list[self._indptr_list[index] : self._indptr_list[index + 1]])
+
+    def degree(self, node_id: int) -> int:
+        """Return the number of incident edges of ``node_id``."""
+        index = self.index_of(node_id)
+        return self._indptr_list[index + 1] - self._indptr_list[index]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Return ``True`` if the undirected edge ``(u, v)`` exists."""
+        index = self._id_to_index.get(u)
+        if index is None:
+            return False
+        start, end = self._indptr_list[index], self._indptr_list[index + 1]
+        return v in self._nbr_ids_list[start:end]
+
+    def edge_length(self, u: int, v: int) -> float:
+        """Return the road-segment length τ(u, v); raises if the edge does not exist."""
+        index = self._id_to_index.get(u)
+        if index is not None:
+            start, end = self._indptr_list[index], self._indptr_list[index + 1]
+            for slot in range(start, end):
+                if self._nbr_ids_list[slot] == v:
+                    return self._lengths_list[slot]
+        raise EdgeNotFoundError(u, v)
+
+    def euclidean(self, u: int, v: int) -> float:
+        """Return the Euclidean distance between the embeddings of two nodes."""
+        ax, ay = self.coords(u)
+        bx, by = self.coords(v)
+        return ((ax - bx) ** 2 + (ay - by) ** 2) ** 0.5
+
+    def total_length(self) -> float:
+        """Return the sum of all road-segment lengths in the snapshot."""
+        return self._edge_length_stats()[0]
+
+    def min_edge_length(self) -> float:
+        """Return the minimum edge length (the paper's ``dmin``), or 0.0 if no edges."""
+        return self._edge_length_stats()[1]
+
+    def max_edge_length(self) -> float:
+        """Return the maximum edge length (the paper's ``τmax``), or 0.0 if no edges."""
+        return self._edge_length_stats()[2]
+
+    def _edge_length_stats(self) -> Tuple[float, float, float]:
+        if self._length_stats is None:
+            if self._lengths.size == 0:
+                self._length_stats = (0.0, 0.0, 0.0)
+            else:
+                # Each undirected edge appears twice in the CSR, hence the /2.
+                self._length_stats = (
+                    float(self._lengths.sum()) / 2.0,
+                    float(self._lengths.min()),
+                    float(self._lengths.max()),
+                )
+        return self._length_stats
+
+    def bounding_box(self) -> Tuple[float, float, float, float]:
+        """Return ``(min_x, min_y, max_x, max_y)`` over all node embeddings."""
+        if self._ids.size == 0:
+            raise GraphError("bounding_box of an empty network is undefined")
+        return (
+            float(self._xs.min()),
+            float(self._ys.min()),
+            float(self._xs.max()),
+            float(self._ys.max()),
+        )
+
+    # ------------------------------------------------------------------ traversal
+    def bfs_order(self, start: int) -> List[int]:
+        """Return node ids reachable from ``start`` in breadth-first order."""
+        start_index = self.index_of(start)
+        indptr = self._indptr_list
+        columns = self._nbr_pos_list
+        visited = [False] * len(self._ids_list)
+        visited[start_index] = True
+        order_indices: List[int] = [start_index]
+        head = 0
+        while head < len(order_indices):
+            u = order_indices[head]
+            head += 1
+            for slot in range(indptr[u], indptr[u + 1]):
+                v = columns[slot]
+                if not visited[v]:
+                    visited[v] = True
+                    order_indices.append(v)
+        ids = self._ids_list
+        return [ids[index] for index in order_indices]
+
+    def connected_components(self) -> List[Set[int]]:
+        """Return the connected components of the snapshot as sets of node ids."""
+        remaining: Set[int] = set(self._ids_list)
+        components: List[Set[int]] = []
+        while remaining:
+            start = next(iter(remaining))
+            component = set(self.bfs_order(start))
+            components.append(component)
+            remaining -= component
+        return components
+
+    def is_connected(self) -> bool:
+        """Return ``True`` if the snapshot has one connected component (or is empty)."""
+        if not self._ids_list:
+            return True
+        return len(self.bfs_order(self._ids_list[0])) == len(self._ids_list)
+
+    # ------------------------------------------------------------------ derived views
+    def window_view(self, window: "Rectangle") -> "CompactNetwork":
+        """Return the snapshot restricted to the nodes inside ``window``.
+
+        The node filter is one vectorised coordinate comparison and the CSR is
+        re-numbered with numpy kernels — no per-node Python work — so extracting a
+        query window from a frozen snapshot costs a small fraction of rebuilding a
+        dict-backed subgraph. Only edges with both endpoints inside the window are
+        kept, matching :func:`repro.network.subgraph.induced_subgraph`.
+        """
+        mask = (
+            (self._xs >= window.min_x)
+            & (self._xs <= window.max_x)
+            & (self._ys >= window.min_y)
+            & (self._ys <= window.max_y)
+        )
+        return self._masked_view(mask)
+
+    def window_node_ids(self, window: "Rectangle") -> List[int]:
+        """Return the ids of the nodes inside ``window`` (vectorised point test)."""
+        mask = (
+            (self._xs >= window.min_x)
+            & (self._xs <= window.max_x)
+            & (self._ys >= window.min_y)
+            & (self._ys <= window.max_y)
+        )
+        return self._ids[mask].tolist()
+
+    def subgraph(self, node_ids: Iterable[int]) -> "CompactNetwork":
+        """Return the snapshot induced by ``node_ids`` (nodes must exist).
+
+        The result keeps the snapshot's node order restricted to the kept set,
+        regardless of the order ``node_ids`` provides them in
+        (:meth:`RoadNetwork.subgraph <repro.network.graph.RoadNetwork.subgraph>`
+        by contrast follows the caller-provided order — pass ids in network
+        iteration order there when cross-backend order parity matters).
+
+        Raises:
+            NodeNotFoundError: If any requested node is not in the snapshot.
+        """
+        mask = np.zeros(len(self._ids_list), dtype=bool)
+        for node_id in node_ids:
+            mask[self.index_of(node_id)] = True
+        return self._masked_view(mask)
+
+    def _masked_view(self, mask: np.ndarray) -> "CompactNetwork":
+        keep = np.flatnonzero(mask)
+        new_position = np.full(len(self._ids_list), -1, dtype=np.int32)
+        new_position[keep] = np.arange(keep.size, dtype=np.int32)
+        rows = self._entry_rows()
+        entry_keep = mask[rows] & mask[self._indices]
+        new_indices = new_position[self._indices[entry_keep]]
+        new_lengths = self._lengths[entry_keep]
+        # Kept entries stay grouped by (ordered) source row, so a bincount over the
+        # re-numbered rows rebuilds the row pointers directly.
+        counts = np.bincount(new_position[rows[entry_keep]], minlength=keep.size)
+        new_indptr = np.zeros(keep.size + 1, dtype=np.int32)
+        np.cumsum(counts, out=new_indptr[1:])
+        return CompactNetwork(
+            self._ids[keep],
+            self._xs[keep],
+            self._ys[keep],
+            new_indptr,
+            new_indices.astype(np.int32, copy=False),
+            new_lengths,
+        )
+
+    def _entry_rows(self) -> np.ndarray:
+        """Row (source-node position) of every CSR entry, cached after first use."""
+        if self._row_of_entry is None:
+            self._row_of_entry = np.repeat(
+                np.arange(len(self._ids_list), dtype=np.int32), np.diff(self._indptr)
+            )
+        return self._row_of_entry
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"CompactNetwork(nodes={self.num_nodes}, edges={self.num_edges})"

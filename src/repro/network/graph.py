@@ -15,9 +15,12 @@ structure tuned for the access patterns the LCMSR algorithms need:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.exceptions import EdgeNotFoundError, GraphError, NodeNotFoundError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (compact imports this module)
+    from repro.network.compact import CompactNetwork
 
 
 @dataclass(frozen=True)
@@ -100,6 +103,10 @@ class RoadNetwork:
         self._nodes: Dict[int, Node] = {}
         self._adj: Dict[int, Dict[int, float]] = {}
         self._num_edges: int = 0
+        # Cached (total, min, max) edge-length aggregates; invalidated whenever an
+        # edge is added, shortened or removed. Solvers probe max_edge_length() per
+        # query, which used to be a full O(E) scan every call.
+        self._length_stats: Optional[Tuple[float, float, float]] = None
 
     # ------------------------------------------------------------------ construction
     def add_node(self, node_id: int, x: float, y: float) -> Node:
@@ -135,9 +142,11 @@ class RoadNetwork:
             self._num_edges += 1
             self._adj[u][v] = length
             self._adj[v][u] = length
+            self._length_stats = None
         elif length < existing:
             self._adj[u][v] = length
             self._adj[v][u] = length
+            self._length_stats = None
         return Edge.make(u, v, self._adj[u][v])
 
     def remove_edge(self, u: int, v: int) -> None:
@@ -147,6 +156,7 @@ class RoadNetwork:
         del self._adj[u][v]
         del self._adj[v][u]
         self._num_edges -= 1
+        self._length_stats = None
 
     def remove_node(self, node_id: int) -> None:
         """Remove a node and all of its incident edges."""
@@ -180,6 +190,19 @@ class RoadNetwork:
             return self._nodes[node_id]
         except KeyError:
             raise NodeNotFoundError(node_id) from None
+
+    def contains(self, node_id: int) -> bool:
+        """Return ``True`` if ``node_id`` is a node of the network.
+
+        Method form of ``in``, required by the
+        :class:`~repro.network.compact.GraphView` protocol (protocols cannot
+        express ``__contains__`` cleanly).
+        """
+        return node_id in self._nodes
+
+    def coords(self, node_id: int) -> Tuple[float, float]:
+        """Return the planar ``(x, y)`` embedding of ``node_id``."""
+        return self.node(node_id).coords()
 
     def has_edge(self, u: int, v: int) -> bool:
         """Return ``True`` if the undirected edge ``(u, v)`` exists."""
@@ -235,18 +258,39 @@ class RoadNetwork:
         return ((a.x - b.x) ** 2 + (a.y - b.y) ** 2) ** 0.5
 
     def total_length(self) -> float:
-        """Return the sum of all road-segment lengths in the network."""
-        return sum(edge.length for edge in self.edges())
+        """Return the sum of all road-segment lengths in the network (cached)."""
+        return self._edge_length_stats()[0]
 
     def min_edge_length(self) -> float:
-        """Return the minimum edge length (the paper's ``dmin``), or 0.0 if no edges."""
-        lengths = [edge.length for edge in self.edges()]
-        return min(lengths) if lengths else 0.0
+        """Return the minimum edge length (the paper's ``dmin``), or 0.0 if no edges.
+
+        The value is cached until the next edge mutation.
+        """
+        return self._edge_length_stats()[1]
 
     def max_edge_length(self) -> float:
-        """Return the maximum edge length (the paper's ``τmax``), or 0.0 if no edges."""
-        lengths = [edge.length for edge in self.edges()]
-        return max(lengths) if lengths else 0.0
+        """Return the maximum edge length (the paper's ``τmax``), or 0.0 if no edges.
+
+        The value is cached until the next edge mutation.
+        """
+        return self._edge_length_stats()[2]
+
+    def _edge_length_stats(self) -> Tuple[float, float, float]:
+        """``(total, min, max)`` edge length, recomputed only after edge mutations."""
+        if self._length_stats is None:
+            total = 0.0
+            minimum: Optional[float] = None
+            maximum: Optional[float] = None
+            for u, nbrs in self._adj.items():
+                for v, length in nbrs.items():
+                    if u < v:
+                        total += length
+                        if minimum is None or length < minimum:
+                            minimum = length
+                        if maximum is None or length > maximum:
+                            maximum = length
+            self._length_stats = (total, minimum or 0.0, maximum or 0.0)
+        return self._length_stats
 
     def bounding_box(self) -> Tuple[float, float, float, float]:
         """Return ``(min_x, min_y, max_x, max_y)`` over all node embeddings."""
@@ -302,17 +346,45 @@ class RoadNetwork:
             clone.add_edge(edge.u, edge.v, edge.length)
         return clone
 
+    def freeze(self) -> "CompactNetwork":
+        """Return an immutable CSR snapshot of the network.
+
+        Shorthand for :meth:`CompactNetwork.from_network
+        <repro.network.compact.CompactNetwork.from_network>`; see that class for
+        the snapshot's guarantees (shared read-only use, order preservation,
+        vectorised windowing).
+        """
+        from repro.network.compact import CompactNetwork
+
+        return CompactNetwork.from_network(self)
+
     def subgraph(self, node_ids: Iterable[int]) -> "RoadNetwork":
-        """Return the subgraph induced by ``node_ids`` (nodes must exist)."""
-        keep = set(node_ids)
+        """Return the subgraph induced by ``node_ids`` (nodes must exist).
+
+        Nodes and edges are inserted in the order ``node_ids`` provides them
+        (duplicates ignored), so a windowed subgraph iterates in the same order
+        as the parent network — and therefore in the same order as a
+        :class:`~repro.network.compact.CompactNetwork` window view, keeping
+        order-sensitive tie-breaking identical across backends.
+        """
+        keep_order = list(dict.fromkeys(node_ids))
+        keep = set(keep_order)
         sub = RoadNetwork()
-        for node_id in keep:
+        for node_id in keep_order:
             node = self.node(node_id)
             sub.add_node(node.node_id, node.x, node.y)
-        for u in keep:
+        # Fill each adjacency row in the parent's row order (add_edge would
+        # order rows by edge-insertion time instead, breaking the cross-backend
+        # order guarantee above); lengths are already validated in the parent.
+        num_edges = 0
+        for u in keep_order:
+            row = sub._adj[u]
             for v, length in self._adj[u].items():
-                if v in keep and u < v:
-                    sub.add_edge(u, v, length)
+                if v in keep:
+                    row[v] = length
+                    if u < v:
+                        num_edges += 1
+        sub._num_edges = num_edges
         return sub
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper

@@ -1,4 +1,4 @@
-"""Shortest-path routines over :class:`~repro.network.graph.RoadNetwork`.
+"""Shortest-path routines over any :class:`~repro.network.compact.GraphView`.
 
 The LCMSR algorithms themselves do not route, but two substrates do: the MaxRS
 comparison in the paper's Section 7.5 derives a comparable length budget by computing
@@ -6,6 +6,14 @@ the minimum total length of road segments connecting the relevant objects inside
 rectangle (a Steiner-tree-ish measure we approximate with shortest-path joins), and
 the object-to-node mapping occasionally needs network distances. A binary-heap
 Dijkstra plus convenience wrappers cover both.
+
+:func:`dijkstra` accepts either network backend. A dict-backed
+:class:`~repro.network.graph.RoadNetwork` is traversed through ``neighbor_items``;
+a frozen :class:`~repro.network.compact.CompactNetwork` takes an array-indexed fast
+path that walks the flat CSR lists with list-indexed distance/parent tables instead
+of per-hop dict hashing. The two paths relax neighbours in the same order and break
+heap ties by node id, so they return *identical* ``(dist, parent)`` mappings — not
+merely equal distances.
 """
 
 from __future__ import annotations
@@ -14,11 +22,11 @@ import heapq
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.exceptions import NodeNotFoundError, SolverError
-from repro.network.graph import RoadNetwork
+from repro.network.compact import CompactNetwork, GraphView
 
 
 def dijkstra(
-    network: RoadNetwork,
+    network: GraphView,
     source: int,
     targets: Optional[Set[int]] = None,
     max_distance: Optional[float] = None,
@@ -26,7 +34,7 @@ def dijkstra(
     """Run Dijkstra's algorithm from ``source``.
 
     Args:
-        network: The road network.
+        network: The road network (dict-backed or a frozen CSR snapshot).
         source: Source node identifier.
         targets: Optional set of node identifiers; the search stops early once all of
             them have been settled.
@@ -35,12 +43,15 @@ def dijkstra(
     Returns:
         A pair ``(dist, parent)`` where ``dist`` maps each settled node to its network
         distance from ``source`` and ``parent`` maps it to its predecessor on a
-        shortest path (the source has no parent entry).
+        shortest path (the source has no parent entry). Both backends produce
+        identical mappings for the same graph.
 
     Raises:
         NodeNotFoundError: If ``source`` is not in the network.
     """
-    if source not in network:
+    if isinstance(network, CompactNetwork):
+        return _dijkstra_csr(network, source, targets, max_distance)
+    if not network.contains(source):
         raise NodeNotFoundError(source)
     dist: Dict[int, float] = {source: 0.0}
     parent: Dict[int, int] = {}
@@ -67,7 +78,60 @@ def dijkstra(
     return dist, parent
 
 
-def shortest_path_length(network: RoadNetwork, source: int, target: int) -> float:
+def _dijkstra_csr(
+    network: CompactNetwork,
+    source: int,
+    targets: Optional[Set[int]],
+    max_distance: Optional[float],
+) -> Tuple[Dict[int, float], Dict[int, int]]:
+    """Array-indexed Dijkstra over a frozen CSR snapshot.
+
+    Distance, parent and settled tables are dense lists indexed by node position,
+    so the inner loop does list indexing only. Heap entries carry ``(dist, id,
+    position)`` — ties order by node id exactly as in the dict-backed loop.
+    """
+    source_index = network.index_of(source)
+    indptr, positions, neighbor_ids, lengths, ids = network.adjacency_arrays()
+    infinity = float("inf")
+    num_nodes = len(ids)
+    dist: List[float] = [infinity] * num_nodes
+    parent: List[int] = [-1] * num_nodes
+    settled: List[bool] = [False] * num_nodes
+    dist[source_index] = 0.0
+    touched: List[int] = [source_index]
+    remaining = set(targets) if targets is not None else None
+    heap: List[Tuple[float, int, int]] = [(0.0, source, source_index)]
+    while heap:
+        d, u_id, u = heapq.heappop(heap)
+        if settled[u]:
+            continue
+        settled[u] = True
+        if remaining is not None:
+            remaining.discard(u_id)
+            if not remaining:
+                break
+        for slot in range(indptr[u], indptr[u + 1]):
+            nd = d + lengths[slot]
+            if max_distance is not None and nd > max_distance:
+                continue
+            v = positions[slot]
+            if nd < dist[v]:
+                if dist[v] == infinity:
+                    touched.append(v)
+                dist[v] = nd
+                parent[v] = u
+                heapq.heappush(heap, (nd, neighbor_ids[slot], v))
+    dist_out: Dict[int, float] = {}
+    parent_out: Dict[int, int] = {}
+    for v in touched:
+        dist_out[ids[v]] = dist[v]
+        p = parent[v]
+        if p >= 0:
+            parent_out[ids[v]] = ids[p]
+    return dist_out, parent_out
+
+
+def shortest_path_length(network: GraphView, source: int, target: int) -> float:
     """Return the network distance between two nodes.
 
     Raises:
@@ -79,7 +143,7 @@ def shortest_path_length(network: RoadNetwork, source: int, target: int) -> floa
     return dist[target]
 
 
-def shortest_path(network: RoadNetwork, source: int, target: int) -> List[int]:
+def shortest_path(network: GraphView, source: int, target: int) -> List[int]:
     """Return the node sequence of a shortest path from ``source`` to ``target``.
 
     Raises:
@@ -95,7 +159,7 @@ def shortest_path(network: RoadNetwork, source: int, target: int) -> List[int]:
     return path
 
 
-def steiner_tree_length(network: RoadNetwork, terminals: Iterable[int]) -> float:
+def steiner_tree_length(network: GraphView, terminals: Iterable[int]) -> float:
     """Approximate the length of a minimal tree connecting ``terminals``.
 
     Used by the Section 7.5 comparison: the paper derives the LCMSR length budget from
@@ -142,7 +206,7 @@ def steiner_tree_length(network: RoadNetwork, terminals: Iterable[int]) -> float
     return total
 
 
-def eccentricity(network: RoadNetwork, source: int) -> float:
+def eccentricity(network: GraphView, source: int) -> float:
     """Return the largest finite shortest-path distance from ``source``."""
     dist, _ = dijkstra(network, source)
     return max(dist.values()) if dist else 0.0

@@ -4,15 +4,26 @@ Every LCMSR algorithm works on the sub-network induced by the nodes that fall in
 the query's rectangular region of interest. :class:`Rectangle` is the axis-aligned
 window type used throughout the library (queries, the grid index, MaxRS), and
 :func:`induced_subgraph` extracts the windowed network.
+
+The helpers are backend-polymorphic: handed a dict-backed
+:class:`~repro.network.graph.RoadNetwork` they rebuild a dict-backed subgraph;
+handed a frozen :class:`~repro.network.compact.CompactNetwork` snapshot they take
+its vectorised ``window_view`` / array-filter path and return another snapshot.
+The dispatch is duck-typed on the snapshot-only methods (``window_view`` /
+``window_node_ids``) so this module does not import the compact backend (which
+imports :mod:`repro.network.graph` itself).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Set, Tuple
+from typing import TYPE_CHECKING, Iterable, List, Set, Tuple
 
 from repro.exceptions import QueryError
 from repro.network.graph import RoadNetwork
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.network.compact import GraphView
 
 
 @dataclass(frozen=True)
@@ -90,29 +101,44 @@ class Rectangle:
         return Rectangle.from_center(cx, cy, side, side)
 
 
-def nodes_in_rectangle(network: RoadNetwork, window: Rectangle) -> List[int]:
-    """Return the identifiers of all nodes whose embedding lies inside ``window``."""
+def nodes_in_rectangle(network: "GraphView", window: Rectangle) -> List[int]:
+    """Return the identifiers of all nodes whose embedding lies inside ``window``.
+
+    On a frozen snapshot the point test is one vectorised coordinate comparison;
+    on a dict-backed network it is a Python scan over the nodes.
+    """
+    window_node_ids = getattr(network, "window_node_ids", None)
+    if window_node_ids is not None:
+        return window_node_ids(window)
     return [node.node_id for node in network.nodes() if window.contains(node.x, node.y)]
 
 
-def induced_subgraph(network: RoadNetwork, window: Rectangle) -> RoadNetwork:
+def induced_subgraph(network: "GraphView", window: Rectangle) -> "GraphView":
     """Return the sub-network induced by the nodes inside ``window``.
 
     Only edges with both endpoints inside the window are kept, matching the paper's
     length-constraint definition, which sums ``τ(vi, vj)`` over edges whose endpoints
-    are both in ``Q.Λ``.
+    are both in ``Q.Λ``. The result uses the same backend as the input: a
+    dict-backed network yields a dict-backed subgraph, a frozen snapshot yields a
+    (vectorised, much cheaper) frozen window view.
     """
+    window_view = getattr(network, "window_view", None)
+    if window_view is not None:
+        return window_view(window)
     return network.subgraph(nodes_in_rectangle(network, window))
 
 
-def largest_component_subgraph(network: RoadNetwork) -> RoadNetwork:
+def largest_component_subgraph(network: "GraphView") -> "GraphView":
     """Return the sub-network induced by the largest connected component.
 
     Windowing can split a connected road network into several pieces; some callers
     (e.g. workload generators that need routable areas) want only the dominant piece.
+    The result uses the same backend as the input.
     """
     components = network.connected_components()
     if not components:
         return RoadNetwork()
     largest = max(components, key=len)
-    return network.subgraph(largest)
+    # Feed ids in network iteration order (not set order) so the dict backend's
+    # order-following subgraph stays aligned with a snapshot's subgraph.
+    return network.subgraph([n for n in network.node_ids() if n in largest])

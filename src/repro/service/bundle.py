@@ -15,10 +15,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.exceptions import QueryError
 from repro.index.grid import GridIndex
+from repro.network.compact import CompactNetwork, GraphView
 from repro.network.graph import RoadNetwork
 from repro.objects.corpus import ObjectCorpus
 from repro.objects.mapping import NodeObjectMap, map_objects_to_network
@@ -43,6 +44,12 @@ class IndexBundle:
         grid_resolution: The resolution the grid was built with (kept for reporting).
         build_seconds: Wall-clock time of each offline build step plus a ``"total"``
             entry; mirrors the paper's offline / online cost split.
+        compact: The frozen CSR snapshot of ``network``
+            (:class:`~repro.network.compact.CompactNetwork`), built once here and
+            shared read-only by every engine / service query — the per-query
+            window extraction runs on this snapshot, not on the dict-backed
+            graph. ``None`` only when the bundle was built with
+            ``freeze_network=False`` (benchmark comparisons, legacy callers).
     """
 
     network: RoadNetwork
@@ -54,6 +61,7 @@ class IndexBundle:
     scoring_mode: ScoringMode
     grid_resolution: int
     build_seconds: Dict[str, float]
+    compact: Optional[CompactNetwork] = None
 
     @classmethod
     def build(
@@ -62,6 +70,7 @@ class IndexBundle:
         corpus: ObjectCorpus,
         grid_resolution: int = 48,
         scoring_mode: ScoringMode = ScoringMode.TEXT_RELEVANCE,
+        freeze_network: bool = True,
     ) -> "IndexBundle":
         """Run the full offline indexing pipeline once.
 
@@ -71,6 +80,11 @@ class IndexBundle:
             grid_resolution: Cells per axis of the spatial grid; must be positive.
             scoring_mode: Per-object weight definition (see
                 :class:`~repro.textindex.relevance.ScoringMode`).
+            freeze_network: When ``True`` (default), also freeze ``network`` into
+                a CSR :class:`~repro.network.compact.CompactNetwork` snapshot that
+                every query reuses for window extraction and traversal. ``False``
+                keeps the dict backend on the hot path (used by the backend
+                benchmark to compare the two).
 
         Returns:
             The immutable bundle holding every index structure.
@@ -103,9 +117,16 @@ class IndexBundle:
         scorer = RelevanceScorer(corpus, mapping, mode=scoring_mode)
         timings["scorer"] = time.perf_counter() - start
 
+        compact: Optional[CompactNetwork] = None
+        if freeze_network:
+            start = time.perf_counter()
+            compact = CompactNetwork.from_network(network)
+            timings["freeze"] = time.perf_counter() - start
+
         timings["total"] = time.perf_counter() - total_start
         return cls(
             network=network,
+            compact=compact,
             corpus=corpus,
             mapping=mapping,
             vsm=vsm,
@@ -116,10 +137,21 @@ class IndexBundle:
             build_seconds=timings,
         )
 
+    def graph_view(self) -> GraphView:
+        """The network representation the query hot path should traverse.
+
+        Returns the frozen CSR snapshot when the bundle was built with
+        ``freeze_network=True`` (the default), the dict-backed network otherwise.
+        Query results are identical on either backend; only the cost differs.
+        """
+        return self.compact if self.compact is not None else self.network
+
     def describe(self) -> str:
         """One-line summary of the indexed dataset (used in logs and reports)."""
+        backend = "csr" if self.compact is not None else "dict"
         return (
-            f"{self.network.num_nodes} nodes / {self.network.num_edges} edges, "
+            f"{self.network.num_nodes} nodes / {self.network.num_edges} edges "
+            f"({backend} backend), "
             f"{len(self.corpus)} objects, grid {self.grid_resolution}x{self.grid_resolution} "
             f"({self.grid.num_nonempty_cells} non-empty cells), "
             f"scoring={self.scoring_mode.value}, "

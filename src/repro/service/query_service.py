@@ -277,18 +277,10 @@ class QueryService:
                 build_seconds=0.0,
             )
             return rebound, True, 0.0
+        # Window-less instances already share the engine's graph view (the
+        # instance builder stopped copying the network), so caching them pins no
+        # extra graph memory; windowed instances carry their own (compact) view.
         instance = self._engine.build_instance(query)
-        if query.region is None and instance.graph.num_nodes == self._engine.network.num_nodes:
-            # A window-less build copies the whole network; caching many such
-            # copies (one per keyword set) would pin one full graph per entry.
-            # Solvers treat instances as read-only, so every window-less entry
-            # can share the engine's own graph instead.
-            instance = ProblemInstance(
-                graph=self._engine.network,
-                weights=instance.weights,
-                query=query,
-                build_seconds=instance.build_seconds,
-            )
         self._instance_cache.put(key, instance)
         return instance, False, instance.build_seconds
 

@@ -1,0 +1,96 @@
+"""Every solver must produce identical results on dict and CSR graph backends.
+
+The CSR snapshot replicates the dict backend's iteration order, so solvers —
+including the ones that tie-break by discovery order — are expected to return
+*identical* regions (node sets, edge sets, lengths, weights), not merely regions
+of equal score.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.app import APPSolver
+from repro.core.exact import ExactSolver
+from repro.core.greedy import GreedySolver
+from repro.core.instance import build_instance
+from repro.core.query import LCMSRQuery
+from repro.core.tgen import TGENSolver
+from repro.network.builders import grid_network, random_geometric_network
+from repro.network.compact import CompactNetwork
+from repro.network.subgraph import Rectangle
+
+
+def _weights_for(network, seed: int, fraction: float = 0.4):
+    rng = random.Random(seed)
+    return {
+        node_id: rng.uniform(0.5, 5.0)
+        for node_id in network.node_ids()
+        if rng.random() < fraction
+    }
+
+
+def _instances(network, weights, delta, region=None):
+    """The same problem instance over the dict backend and the CSR snapshot."""
+    query = LCMSRQuery.create(["kw"], delta=delta, region=region)
+    dict_instance = build_instance(network, query, node_weights=weights)
+    csr_instance = build_instance(
+        CompactNetwork.from_network(network), query, node_weights=weights
+    )
+    return dict_instance, csr_instance
+
+
+def _assert_same_result(result_a, result_b):
+    assert result_a.region.nodes == result_b.region.nodes
+    assert result_a.region.edges == result_b.region.edges
+    assert result_a.length == pytest.approx(result_b.length, abs=1e-12)
+    assert result_a.weight == pytest.approx(result_b.weight, abs=1e-12)
+
+
+class TestSolverBackendParity:
+    @pytest.mark.parametrize("seed", [3, 21])
+    def test_greedy_tgen_app_on_random_networks(self, seed):
+        network = random_geometric_network(num_nodes=90, extent=2000.0, seed=seed)
+        weights = _weights_for(network, seed)
+        dict_instance, csr_instance = _instances(network, weights, delta=900.0)
+        for solver in (GreedySolver(mu=0.3), TGENSolver(), APPSolver()):
+            _assert_same_result(solver.solve(dict_instance), solver.solve(csr_instance))
+
+    def test_solvers_on_uniform_grid(self):
+        # Uniform edge lengths maximise ties; order preservation must keep the
+        # backends in lockstep anyway.
+        network = grid_network(6, 6, spacing=100.0)
+        weights = _weights_for(network, seed=5, fraction=0.5)
+        dict_instance, csr_instance = _instances(network, weights, delta=450.0)
+        for solver in (GreedySolver(), TGENSolver(), APPSolver()):
+            _assert_same_result(solver.solve(dict_instance), solver.solve(csr_instance))
+
+    def test_exact_solver_on_small_window(self):
+        network = random_geometric_network(num_nodes=60, extent=1000.0, seed=8)
+        weights = _weights_for(network, seed=8, fraction=0.6)
+        region = Rectangle(0.0, 0.0, 420.0, 420.0)
+        dict_instance, csr_instance = _instances(
+            network, weights, delta=600.0, region=region
+        )
+        assert dict_instance.num_candidate_nodes == csr_instance.num_candidate_nodes
+        if dict_instance.num_candidate_nodes == 0:
+            pytest.skip("window captured no nodes for this seed")
+        solver = ExactSolver(max_nodes=dict_instance.num_candidate_nodes)
+        _assert_same_result(solver.solve(dict_instance), solver.solve(csr_instance))
+
+    @pytest.mark.parametrize("seed", [13, 14])
+    def test_topk_parity_on_windowed_instances(self, seed):
+        network = random_geometric_network(num_nodes=120, extent=2500.0, seed=seed)
+        weights = _weights_for(network, seed)
+        region = Rectangle(200.0, 200.0, 2000.0, 2000.0)
+        dict_instance, csr_instance = _instances(
+            network, weights, delta=800.0, region=region
+        )
+        for solver in (GreedySolver(), TGENSolver()):
+            topk_dict = solver.solve_topk(dict_instance, k=3)
+            topk_csr = solver.solve_topk(csr_instance, k=3)
+            assert len(topk_dict.results) == len(topk_csr.results)
+            for result_d, result_c in zip(topk_dict.results, topk_csr.results):
+                _assert_same_result(result_d, result_c)

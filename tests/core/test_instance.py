@@ -72,6 +72,27 @@ class TestWindowing:
         instance = build_instance(network, query, grid_index=grid, mapping=mapping)
         assert instance.num_candidate_nodes == network.num_nodes
 
+    def test_no_window_shares_graph_read_only(self, indexed_setup):
+        # A window-less instance must reuse the given graph object, not deep-copy
+        # it: solvers treat instance graphs as read-only.
+        network, _, mapping, grid, _ = indexed_setup
+        query = LCMSRQuery.create(["cafe"], delta=300.0)
+        instance = build_instance(network, query, grid_index=grid, mapping=mapping)
+        assert instance.graph is network
+
+    def test_window_on_compact_network_yields_compact_view(self, indexed_setup):
+        from repro.network.compact import CompactNetwork
+
+        network, _, mapping, grid, _ = indexed_setup
+        snapshot = CompactNetwork.from_network(network)
+        window = Rectangle(0, 0, 150, 150)
+        query = LCMSRQuery.create(["cafe"], delta=300.0, region=window)
+        dict_instance = build_instance(network, query, grid_index=grid, mapping=mapping)
+        csr_instance = build_instance(snapshot, query, grid_index=grid, mapping=mapping)
+        assert isinstance(csr_instance.graph, CompactNetwork)
+        assert csr_instance.weights == dict_instance.weights
+        assert set(csr_instance.graph.node_ids()) == set(dict_instance.graph.node_ids())
+
 
 class TestDerivedFacts:
     def test_sigma_and_totals(self, indexed_setup):

@@ -104,6 +104,40 @@ class TestTopologyQueries:
         assert network.degree(1) == 2
         assert dict(network.neighbor_items(2)) == {1: 3.0, 3: 5.0}
 
+    def test_coords_and_contains(self):
+        network = build_triangle()
+        assert network.contains(1)
+        assert not network.contains(99)
+        assert network.coords(1) == network.node(1).coords()
+
+    def test_length_stats_invalidate_on_add_edge(self):
+        network = build_triangle()
+        assert network.total_length() == pytest.approx(12.0)  # prime the cache
+        network.add_node(4, 100.0, 0.0)
+        network.add_edge(1, 4, 50.0)
+        assert network.total_length() == pytest.approx(62.0)
+        assert network.max_edge_length() == 50.0
+
+    def test_length_stats_invalidate_on_remove_edge(self):
+        network = build_triangle()
+        assert network.max_edge_length() == 5.0  # prime the cache
+        network.remove_edge(2, 3)  # the length-5 edge
+        assert network.max_edge_length() == 4.0
+        assert network.total_length() == pytest.approx(7.0)
+
+    def test_length_stats_invalidate_when_parallel_edge_shortens(self):
+        network = build_triangle()
+        assert network.min_edge_length() == 3.0  # prime the cache
+        network.add_edge(1, 2, 0.5)  # parallel segment keeps the shorter length
+        assert network.min_edge_length() == 0.5
+        assert network.num_edges == 3
+
+    def test_length_stats_invalidate_on_remove_node(self):
+        network = build_triangle()
+        assert network.total_length() == pytest.approx(12.0)  # prime the cache
+        network.remove_node(3)
+        assert network.total_length() == pytest.approx(3.0)
+
     def test_edges_reported_once(self):
         network = build_triangle()
         edges = list(network.edges())

@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
 from repro.exceptions import NodeNotFoundError, SolverError
-from repro.network.builders import grid_network, path_network
+from repro.network.builders import grid_network, path_network, random_geometric_network
+from repro.network.compact import CompactNetwork
 from repro.network.graph import RoadNetwork
 from repro.network.shortest_path import (
     dijkstra,
@@ -14,6 +17,11 @@ from repro.network.shortest_path import (
     shortest_path_length,
     steiner_tree_length,
 )
+
+
+def both_backends(network: RoadNetwork):
+    """The same graph under both backends (dict and frozen CSR)."""
+    return [network, CompactNetwork.from_network(network)]
 
 
 @pytest.fixture
@@ -55,6 +63,113 @@ class TestDijkstra:
     def test_grid_distance_matches_manhattan(self):
         network = grid_network(5, 5, spacing=10.0)
         assert shortest_path_length(network, 0, 24) == pytest.approx(80.0)
+
+
+class TestDijkstraEdgeCases:
+    """Cutoff exactness, early exit, disconnection — on both backends."""
+
+    def test_max_distance_cutoff_is_inclusive(self):
+        # Nodes at distance exactly max_distance must be kept; strictly beyond, dropped.
+        network = path_network(5, edge_length=2.0)
+        for graph in both_backends(network):
+            dist, parent = dijkstra(graph, 0, max_distance=4.0)
+            assert dist == {0: 0.0, 1: 2.0, 2: 4.0}
+            assert parent == {1: 0, 2: 1}
+
+    def test_max_distance_just_below_edge_sum_excludes(self):
+        network = path_network(4, edge_length=1.0)
+        for graph in both_backends(network):
+            dist, _ = dijkstra(graph, 0, max_distance=2.0 - 1e-12)
+            assert set(dist) == {0, 1}
+
+    def test_early_exit_when_all_targets_settle(self):
+        # With target {1} settled at distance 2, the search must stop before
+        # relaxing anything beyond node 2's neighbours: node 4 stays unvisited.
+        network = path_network(6, edge_length=2.0)
+        for graph in both_backends(network):
+            dist, _ = dijkstra(graph, 0, targets={1})
+            assert dist[1] == 2.0
+            assert 4 not in dist and 5 not in dist
+
+    def test_unknown_target_never_settles_no_early_exit(self):
+        # A target id missing from the graph can never settle; the search then
+        # degrades to a full exploration rather than stopping early or raising.
+        network = path_network(4, edge_length=1.0)
+        for graph in both_backends(network):
+            dist, _ = dijkstra(graph, 0, targets={999})
+            assert set(dist) == {0, 1, 2, 3}
+
+    def test_disconnected_source_reaches_only_its_component(self):
+        network = path_network(3, edge_length=1.0)
+        network.add_node(10, 50.0, 0.0)
+        network.add_node(11, 51.0, 0.0)
+        network.add_edge(10, 11, 1.0)
+        for graph in both_backends(network):
+            dist, parent = dijkstra(graph, 10)
+            assert dist == {10: 0.0, 11: 1.0}
+            assert parent == {11: 10}
+
+    def test_isolated_source(self):
+        network = RoadNetwork()
+        network.add_node(7, 0.0, 0.0)
+        for graph in both_backends(network):
+            dist, parent = dijkstra(graph, 7)
+            assert dist == {7: 0.0}
+            assert parent == {}
+
+    def test_source_is_its_own_target(self):
+        network = path_network(4, edge_length=1.0)
+        for graph in both_backends(network):
+            dist, parent = dijkstra(graph, 2, targets={2})
+            assert dist == {2: 0.0}
+            assert parent == {}
+
+    def test_csr_unknown_source_raises(self):
+        graph = CompactNetwork.from_network(path_network(3, edge_length=1.0))
+        with pytest.raises(NodeNotFoundError):
+            dijkstra(graph, 77)
+
+
+class TestDijkstraBackendParity:
+    """Property-style check: dict and CSR Dijkstra agree exactly on random graphs."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_random_graph_parity(self, seed):
+        rng = random.Random(seed)
+        network = random_geometric_network(
+            num_nodes=rng.randint(40, 120), extent=1000.0, seed=seed
+        )
+        compact = CompactNetwork.from_network(network)
+        node_ids = list(network.node_ids())
+        diameter_hint = 1000.0 * 2
+        for _ in range(8):
+            source = rng.choice(node_ids)
+            targets = (
+                set(rng.sample(node_ids, rng.randint(1, min(5, len(node_ids)))))
+                if rng.random() < 0.5
+                else None
+            )
+            max_distance = rng.uniform(0.05, 1.0) * diameter_hint if rng.random() < 0.5 else None
+            dist_d, parent_d = dijkstra(network, source, targets=targets, max_distance=max_distance)
+            dist_c, parent_c = dijkstra(compact, source, targets=targets, max_distance=max_distance)
+            # Not merely equal distances: the parent trees must match too, so
+            # downstream path reconstruction is backend-independent.
+            assert dist_d == dist_c
+            assert parent_d == parent_c
+
+    @pytest.mark.parametrize("seed", [11, 12])
+    def test_uniform_length_grid_parity(self, seed):
+        # Grids maximise shortest-path ties; parents must still agree because both
+        # backends relax neighbours in the same order and tie-break heaps by id.
+        network = grid_network(7, 9, spacing=5.0)
+        compact = CompactNetwork.from_network(network)
+        rng = random.Random(seed)
+        for _ in range(5):
+            source = rng.randrange(7 * 9)
+            dist_d, parent_d = dijkstra(network, source)
+            dist_c, parent_c = dijkstra(compact, source)
+            assert dist_d == dist_c
+            assert parent_d == parent_c
 
 
 class TestShortestPath:

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro import LCMSREngine
+from repro.core.query import LCMSRQuery
 from repro.exceptions import QueryError
 from repro.network.subgraph import Rectangle
 from repro.service.bundle import IndexBundle
@@ -83,3 +84,47 @@ class TestIndexBundle:
         engine = LCMSREngine(tiny_ny_dataset.network, tiny_ny_dataset.corpus)
         with pytest.raises(QueryError):
             LCMSREngine.from_bundle(engine.bundle, default_algorithm="nope")
+
+
+class TestBundleFreezing:
+    def test_build_freezes_network_once(self, tiny_ny_dataset):
+        from repro.network.compact import CompactNetwork
+
+        bundle = IndexBundle.build(tiny_ny_dataset.network, tiny_ny_dataset.corpus)
+        assert isinstance(bundle.compact, CompactNetwork)
+        assert bundle.graph_view() is bundle.compact
+        assert bundle.compact.num_nodes == bundle.network.num_nodes
+        assert bundle.compact.num_edges == bundle.network.num_edges
+        assert "freeze" in bundle.build_seconds
+        assert "csr backend" in bundle.describe()
+
+    def test_freeze_opt_out_keeps_dict_backend(self, tiny_ny_dataset):
+        bundle = IndexBundle.build(
+            tiny_ny_dataset.network, tiny_ny_dataset.corpus, freeze_network=False
+        )
+        assert bundle.compact is None
+        assert bundle.graph_view() is bundle.network
+        assert "dict backend" in bundle.describe()
+
+    def test_engine_queries_traverse_the_snapshot(self, tiny_ny_dataset):
+        engine = LCMSREngine(tiny_ny_dataset.network, tiny_ny_dataset.corpus)
+        assert engine.graph_view is engine.bundle.compact
+        instance = engine.build_instance(LCMSRQuery.create(["restaurant"], delta=1000.0))
+        # Window-less instances share the frozen snapshot directly.
+        assert instance.graph is engine.graph_view
+
+    def test_backends_answer_identically(self, tiny_ny_dataset):
+        frozen = LCMSREngine.from_bundle(
+            IndexBundle.build(tiny_ny_dataset.network, tiny_ny_dataset.corpus)
+        )
+        dict_backed = LCMSREngine.from_bundle(
+            IndexBundle.build(
+                tiny_ny_dataset.network, tiny_ny_dataset.corpus, freeze_network=False
+            )
+        )
+        for algorithm in ("greedy", "tgen", "app"):
+            a = frozen.query(["restaurant"], delta=1000.0, algorithm=algorithm)
+            b = dict_backed.query(["restaurant"], delta=1000.0, algorithm=algorithm)
+            assert a.region.nodes == b.region.nodes
+            assert a.region.edges == b.region.edges
+            assert a.weight == pytest.approx(b.weight, abs=1e-12)

@@ -191,11 +191,12 @@ class TestCaching:
             service.execute(QueryRequest.create(["restaurant"], 1000.0))
             service.execute(QueryRequest.create(["cafe"], 1000.0))
             # Two distinct window-less keyword sets must not pin two full
-            # network copies: every cached instance shares the engine's graph.
+            # network copies: every cached instance shares the engine's frozen
+            # graph view (the bundle's CSR snapshot).
             cache = service._instance_cache
             assert len(cache) == 2
             for key in cache.keys():
-                assert cache.get(key).graph is engine.network
+                assert cache.get(key).graph is engine.graph_view
 
     def test_reporting_renders(self, engine):
         with QueryService(engine, max_workers=1) as service:
