@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test docs-check bench-service bench bench-smoke
+.PHONY: test docs-check bench-service bench bench-smoke artifact-smoke
 
 # Tier-1 suite (includes the docs link/section check).
 test:
@@ -22,7 +22,27 @@ bench:
 
 # Every benchmark at its smallest configuration (1 query/setting, smallest
 # datasets) under a hard time cap — a quick regression gate over the whole
-# benchmark surface, including the network-backend comparison.
+# benchmark surface, including the network-backend comparison and the
+# artifact-persistence load-vs-rebuild check (bench_persist.py).
 bench-smoke:
 	REPRO_BENCH_SMOKE=1 timeout 1200 $(PYTHON) -m pytest benchmarks/ -q \
 		-o python_files="bench_*.py"
+
+# End-to-end artifact gate through the CLI: build a small artifact, verify and
+# reload it, and answer one query per solver (exact gets a small window so its
+# enumeration stays tiny). Leaves no files behind.
+ARTIFACT_SMOKE_DIR := .artifact-smoke
+artifact-smoke:
+	rm -rf $(ARTIFACT_SMOKE_DIR)
+	$(PYTHON) -m repro build --dataset ny --rows 16 --cols 16 --objects 500 \
+		--clusters 6 --seed 3 --out $(ARTIFACT_SMOKE_DIR)/ny
+	$(PYTHON) -m repro info $(ARTIFACT_SMOKE_DIR)/ny --verify
+	for alg in app tgen greedy; do \
+		$(PYTHON) -m repro query $(ARTIFACT_SMOKE_DIR)/ny \
+			--keywords cafe,restaurant --delta 800 --algorithm $$alg || exit 1; \
+	done
+	$(PYTHON) -m repro query $(ARTIFACT_SMOKE_DIR)/ny --keywords cafe \
+		--delta 500 --region 100,100,450,450 --algorithm exact
+	$(PYTHON) -m repro serve-batch $(ARTIFACT_SMOKE_DIR)/ny --synthesize 8 \
+		--delta 800 --workers 2 --repeat 2
+	rm -rf $(ARTIFACT_SMOKE_DIR)

@@ -9,29 +9,34 @@ extension, an exact oracle for small inputs and the MaxRS / clustering baselines
 
 For serving many queries, :class:`repro.service.QueryService` wraps an engine with a
 worker pool, a result cache and a problem-instance cache (``submit_many`` /
-``run_batch``).
+``run_batch``). The offline index build persists as a versioned on-disk artifact
+(:mod:`repro.service.persist`, ``python -m repro build``) that any process loads
+back in I/O-bound time with the network arrays memory-mapped.
 
-Quick start::
+Quick start (build once — here in-process, normally ``python -m repro build``)::
 
-    from repro import LCMSREngine, build_ny_like
+    from repro import IndexBundle, LCMSREngine, build_ny_like
 
     dataset = build_ny_like()
-    engine = LCMSREngine(dataset.network, dataset.corpus)
+    IndexBundle.from_dataset(dataset).save("artifacts/ny")
+
+    engine = LCMSREngine.from_artifact("artifacts/ny")   # no index rebuild
     result = engine.query(["cafe", "restaurant"], delta=2000.0)
     print(result.region)
 
-Batched serving::
+Batched serving (an engine or an artifact path)::
 
     from repro import QueryRequest, QueryService
 
-    with QueryService(engine, max_workers=4) as service:
+    with QueryService("artifacts/ny", max_workers=4) as service:
         results = service.run_batch(
             [QueryRequest.create(["cafe"], delta=1500.0) for _ in range(32)]
         )
         print(service.stats().result_hit_rate)
 
-See README.md for install / quickstart and docs/ARCHITECTURE.md for the
-paper-to-module map and the serving-path data flow.
+See README.md for install / quickstart, docs/ARCHITECTURE.md for the
+paper-to-module map, the serving-path data flow and the artifact layout, and
+``python -m repro --help`` for the CLI.
 """
 
 from repro.engine import LCMSREngine
@@ -61,7 +66,7 @@ from repro.index import GridIndex
 from repro.baselines import MaxRSSolver
 from repro.datasets import build_ny_like, build_usanw_like, generate_workload
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "LCMSREngine",

@@ -1,0 +1,10 @@
+"""``python -m repro`` — the artifact build / inspect / query command line.
+
+See :mod:`repro.cli` for the subcommands.
+"""
+
+import sys
+
+from repro.cli import main
+
+sys.exit(main())

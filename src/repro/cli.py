@@ -1,0 +1,309 @@
+"""The ``python -m repro`` command line: build, inspect and query index artifacts.
+
+The CLI is the operational face of :mod:`repro.service.persist` — it separates the
+offline index build from online serving so examples, benchmarks and deployments can
+share one prebuilt artifact instead of each paying the full indexing pipeline:
+
+* ``python -m repro build --dataset ny --out artifacts/ny`` — generate a dataset,
+  build every index structure once and persist the bundle as a versioned artifact;
+* ``python -m repro info artifacts/ny`` — print the manifest (format version,
+  dataset fingerprint, checksums, statistics) without loading the indexes;
+* ``python -m repro query artifacts/ny --keywords cafe,bar --delta 2000`` — load
+  the artifact (CSR arrays memory-mapped) and answer one LCMSR query;
+* ``python -m repro serve-batch artifacts/ny --synthesize 32`` — run a batch of
+  queries through :class:`~repro.service.query_service.QueryService` and print the
+  timing / cache statistics.
+
+Every subcommand exits with status 2 on an :class:`~repro.exceptions.ReproError`
+(bad artifact, malformed query, ...) and prints the reason to stderr.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+from dataclasses import asdict
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.exceptions import QueryError, ReproError
+from repro.network.subgraph import Rectangle
+
+
+def _parse_keywords(raw: str) -> List[str]:
+    keywords = [part.strip() for part in raw.split(",") if part.strip()]
+    if not keywords:
+        raise QueryError(f"no keywords in {raw!r} (expected e.g. 'cafe,restaurant')")
+    return keywords
+
+
+def _parse_region(raw: Optional[str]) -> Optional[Rectangle]:
+    if raw is None:
+        return None
+    parts = [part.strip() for part in raw.split(",")]
+    if len(parts) != 4:
+        raise QueryError(
+            f"a region needs 4 comma-separated numbers min_x,min_y,max_x,max_y, got {raw!r}"
+        )
+    try:
+        min_x, min_y, max_x, max_y = (float(part) for part in parts)
+    except ValueError as exc:
+        raise QueryError(f"non-numeric region coordinate in {raw!r}") from exc
+    return Rectangle(min_x, min_y, max_x, max_y)
+
+
+# ---------------------------------------------------------------------- build
+def _cmd_build(args: argparse.Namespace) -> int:
+    from repro.datasets.ny import build_ny_like
+    from repro.datasets.usanw import build_usanw_like
+    from repro.service.bundle import IndexBundle
+
+    if args.dataset == "ny":
+        dataset = build_ny_like(
+            rows=args.rows,
+            cols=args.cols,
+            block_size=args.block_size,
+            num_objects=args.objects,
+            num_clusters=args.clusters,
+            seed=args.seed,
+        )
+    else:
+        dataset = build_usanw_like(
+            num_nodes=args.nodes,
+            extent=args.extent,
+            num_objects=args.objects,
+            num_clusters=args.clusters,
+            seed=args.seed,
+        )
+    if args.grid_resolution != dataset.grid.resolution:
+        # Only the grid depends on the resolution: rebuild it over the shared
+        # VSM and keep the (resolution-independent) mapping and scorer.
+        from dataclasses import replace
+
+        from repro.index.grid import GridIndex
+
+        dataset = replace(
+            dataset,
+            grid=GridIndex(
+                dataset.corpus,
+                resolution=args.grid_resolution,
+                vsm=dataset.grid.vector_space_model,
+            ),
+        )
+    bundle = IndexBundle.from_dataset(dataset)
+    manifest = bundle.save(args.out, overwrite=args.force)
+    print(f"artifact written to {args.out}")
+    print(f"  dataset     : {dataset.name} (seed {args.seed})")
+    print(f"  bundle      : {bundle.describe()}")
+    print(f"  fingerprint : {manifest.fingerprint[:16]}…")
+    print(f"  format      : v{manifest.format_version}")
+    return 0
+
+
+# ---------------------------------------------------------------------- info
+def _cmd_info(args: argparse.Namespace) -> int:
+    from repro.service.persist import read_manifest, verify_artifact
+
+    manifest = verify_artifact(args.artifact) if args.verify else read_manifest(args.artifact)
+    if args.json:
+        print(json.dumps(asdict(manifest), sort_keys=True, indent=2))
+        return 0
+    print(f"artifact {args.artifact}")
+    print(f"  format version : {manifest.format_version}")
+    print(f"  fingerprint    : {manifest.fingerprint}")
+    print(f"  grid           : {manifest.grid_resolution}x{manifest.grid_resolution}")
+    print(f"  scoring mode   : {manifest.scoring_mode}")
+    for key in sorted(manifest.stats):
+        print(f"  {key:<15}: {manifest.stats[key]}")
+    for name in sorted(manifest.checksums):
+        print(f"  sha256 {name:<12}: {manifest.checksums[name][:16]}…")
+    if args.verify:
+        print("  checksums      : verified ok")
+    return 0
+
+
+# ---------------------------------------------------------------------- query
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.engine import LCMSREngine
+
+    engine = LCMSREngine.from_artifact(args.artifact)
+    keywords = _parse_keywords(args.keywords)
+    region = _parse_region(args.region)
+    if args.k > 1:
+        topk = engine.query_topk(
+            keywords, delta=args.delta, k=args.k, region=region, algorithm=args.algorithm
+        )
+        print(
+            f"{len(topk)} region(s) by {topk.algorithm} "
+            f"in {topk.runtime_seconds * 1000:.1f} ms"
+        )
+        for rank, result in enumerate(topk, start=1):
+            print(
+                f"  #{rank}: weight={result.weight:.4f} length={result.length:.1f} "
+                f"nodes={result.region.num_nodes}"
+            )
+        return 0
+    result = engine.query(keywords, delta=args.delta, region=region, algorithm=args.algorithm)
+    print(f"algorithm : {result.algorithm}")
+    print(f"weight    : {result.weight:.4f}")
+    print(f"length    : {result.length:.1f} (budget {args.delta:.1f})")
+    print(f"nodes     : {sorted(result.region.nodes)}")
+    print(f"runtime   : {result.runtime_seconds * 1000:.1f} ms")
+    return 0
+
+
+# ---------------------------------------------------------------------- serve-batch
+def _synthesize_requests(engine, count: int, delta: float, seed: int):
+    """Build a deterministic keyword workload from the corpus's frequent terms."""
+    from repro.service.query_service import QueryRequest
+
+    rng = random.Random(seed)
+    frequent = [term for term, _ in engine.corpus.most_frequent_terms(40)]
+    if not frequent:
+        raise QueryError("the artifact's corpus has no terms to synthesize queries from")
+    requests = []
+    for _ in range(count):
+        size = rng.randint(1, min(3, len(frequent)))
+        keywords = rng.sample(frequent, size)
+        requests.append(QueryRequest.create(keywords, delta=delta))
+    return requests
+
+
+def _cmd_serve_batch(args: argparse.Namespace) -> int:
+    from repro.engine import LCMSREngine
+    from repro.evaluation.reporting import format_service_stats
+    from repro.service.query_service import QueryRequest, QueryService
+
+    if args.repeat < 1:
+        raise QueryError(f"--repeat must be >= 1, got {args.repeat}")
+    if args.requests is None and args.synthesize < 1:
+        raise QueryError(f"--synthesize must be >= 1, got {args.synthesize}")
+    engine = LCMSREngine.from_artifact(args.artifact)
+    if args.requests is not None:
+        requests = []
+        for line_number, line in enumerate(
+            Path(args.requests).read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                raw = json.loads(line)
+                region = raw.get("region")
+                requests.append(
+                    QueryRequest.create(
+                        raw["keywords"],
+                        delta=float(raw["delta"]),
+                        region=Rectangle(*region) if region else None,
+                        algorithm=raw.get("algorithm"),
+                        k=int(raw.get("k", 1)),
+                    )
+                )
+            except (ValueError, KeyError, TypeError) as exc:
+                raise QueryError(
+                    f"malformed request on line {line_number} of {args.requests}: {exc}"
+                ) from exc
+        if not requests:
+            raise QueryError(f"no requests found in {args.requests}")
+    else:
+        requests = _synthesize_requests(engine, args.synthesize, args.delta, args.seed)
+
+    with QueryService(engine, max_workers=args.workers) as service:
+        for _ in range(args.repeat):
+            results = service.run_batch(requests)
+        print(f"served {len(requests)} request(s) x{args.repeat} with {args.workers} worker(s)")
+        # RegionResult exposes is_empty; a TopKResult is empty when it has no entries.
+        def _answered(result) -> bool:
+            if hasattr(result, "is_empty"):
+                return not result.is_empty
+            return len(result) > 0
+
+        answered = sum(1 for result in results if _answered(result))
+        print(f"non-empty answers in last pass: {answered}/{len(results)}")
+        print(format_service_stats(service.stats(), title="service stats"))
+    return 0
+
+
+# ---------------------------------------------------------------------- parser
+def build_parser() -> argparse.ArgumentParser:
+    """Build the ``python -m repro`` argument parser (exposed for tests/docs)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Build, inspect and query persistent LCMSR index artifacts.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    build = subparsers.add_parser(
+        "build", help="generate a dataset, build all indexes once and persist them"
+    )
+    build.add_argument("--dataset", choices=("ny", "usanw"), default="ny")
+    build.add_argument("--out", required=True, help="artifact directory to write")
+    build.add_argument("--seed", type=int, default=42, help="dataset seed (deterministic)")
+    build.add_argument("--grid-resolution", type=int, default=48)
+    build.add_argument("--force", action="store_true", help="overwrite an existing artifact")
+    build.add_argument("--rows", type=int, default=50, help="[ny] street-grid rows")
+    build.add_argument("--cols", type=int, default=50, help="[ny] street-grid columns")
+    build.add_argument("--block-size", type=float, default=120.0, help="[ny] block size (m)")
+    build.add_argument("--nodes", type=int, default=3000, help="[usanw] network nodes")
+    build.add_argument("--extent", type=float, default=20000.0, help="[usanw] extent (m)")
+    build.add_argument("--objects", type=int, default=7000, help="number of geo-textual objects")
+    build.add_argument("--clusters", type=int, default=30, help="number of PoI hot spots")
+    build.set_defaults(func=_cmd_build)
+
+    info = subparsers.add_parser("info", help="print an artifact's manifest")
+    info.add_argument("artifact", help="artifact directory")
+    info.add_argument("--json", action="store_true", help="machine-readable output")
+    info.add_argument("--verify", action="store_true", help="also verify file checksums")
+    info.set_defaults(func=_cmd_info)
+
+    query = subparsers.add_parser("query", help="answer one LCMSR query from an artifact")
+    query.add_argument("artifact", help="artifact directory")
+    query.add_argument("--keywords", required=True, help="comma-separated query keywords")
+    query.add_argument("--delta", type=float, required=True, help="length budget Q.∆ (m)")
+    query.add_argument("--region", help="query window min_x,min_y,max_x,max_y")
+    query.add_argument(
+        "--algorithm", choices=("app", "tgen", "greedy", "exact"), default=None,
+        help="solver (engine default: tgen)",
+    )
+    query.add_argument("-k", type=int, default=1, help="return the top-k regions")
+    query.set_defaults(func=_cmd_query)
+
+    serve = subparsers.add_parser(
+        "serve-batch", help="run a query batch through the serving layer"
+    )
+    serve.add_argument("artifact", help="artifact directory")
+    serve.add_argument(
+        "--requests",
+        help="JSONL file; each line {\"keywords\": [...], \"delta\": ..., "
+        "\"region\"?: [x1,y1,x2,y2], \"algorithm\"?: ..., \"k\"?: ...}",
+    )
+    serve.add_argument(
+        "--synthesize", type=int, default=16,
+        help="without --requests: synthesize this many keyword queries",
+    )
+    serve.add_argument("--delta", type=float, default=2000.0, help="budget for synthesized queries")
+    serve.add_argument("--seed", type=int, default=7, help="seed for synthesized queries")
+    serve.add_argument("--workers", type=int, default=4)
+    serve.add_argument("--repeat", type=int, default=1, help="run the batch this many times")
+    serve.set_defaults(func=_cmd_serve_batch)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `... | head`) closed stdout: not an error.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

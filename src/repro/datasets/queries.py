@@ -6,6 +6,11 @@ query a query area of a target size is picked "following the network distributio
 keywords are drawn from the terms that occur inside that area, proportionally to their
 in-area frequency. :class:`QueryWorkloadGenerator` reproduces that procedure and lets
 the benchmarks vary the three query arguments (|ψ|, ∆, Λ) exactly like Figures 15/16.
+
+Determinism policy: as in :mod:`repro.datasets.synthetic`, no module-level RNG state
+is used — every draw flows through one :class:`random.Random` seeded from
+:attr:`WorkloadSpec.seed` (or injected explicitly), so a workload is a pure function
+of ``(dataset, spec)``.
 """
 
 from __future__ import annotations
@@ -48,14 +53,21 @@ class QueryWorkloadGenerator:
         if not self._nodes:
             raise DatasetError("cannot generate queries over an empty network")
 
-    def generate(self, spec: WorkloadSpec) -> List[LCMSRQuery]:
+    def generate(
+        self, spec: WorkloadSpec, rng: Optional[random.Random] = None
+    ) -> List[LCMSRQuery]:
         """Generate one query set according to ``spec``.
 
         Query areas whose objects expose fewer distinct keywords than requested are
         re-drawn (up to a bounded number of attempts), mirroring the paper's implicit
         requirement that each query's keywords actually occur inside its area.
+
+        Args:
+            spec: The workload parameters.
+            rng: Optional explicit generator; overrides ``spec.seed`` when given
+                (all randomness flows through it — no module-level RNG state).
         """
-        rng = random.Random(spec.seed)
+        rng = rng if rng is not None else random.Random(spec.seed)
         queries: List[LCMSRQuery] = []
         attempts = 0
         max_attempts = 50 * spec.num_queries

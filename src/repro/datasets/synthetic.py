@@ -7,6 +7,14 @@ configurable degree of *co-location*: a fraction of objects is placed inside a s
 number of hot-spot clusters whose members share category terms, reproducing the
 "cities have regions with high concentrations of bars, restaurants, shops" phenomenon
 the LCMSR query is designed to exploit.
+
+Determinism policy: no function in this module touches module-level RNG state (the
+global :mod:`random` generator or :data:`numpy.random`) — every random draw flows
+through one explicit :class:`random.Random` instance derived from the caller's
+``seed`` (or injected directly via ``rng``). Two builds with the same seed therefore
+produce identical corpora, and — because the persistence layer is deterministic too
+— byte-identical on-disk artifacts (regression-tested in
+``tests/service/test_persist.py``).
 """
 
 from __future__ import annotations
@@ -77,6 +85,7 @@ def generate_objects_on_network(
     num_hubs: int = 25,
     jitter: float = 25.0,
     seed: int = 17,
+    rng: Optional[random.Random] = None,
 ) -> ObjectCorpus:
     """Generate geo-textual objects along a road network.
 
@@ -105,6 +114,9 @@ def generate_objects_on_network(
         num_hubs: Number of isolated hubs.
         jitter: Coordinate jitter applied to every object, in meters.
         seed: Random seed (the whole dataset is deterministic given the seed).
+        rng: Optional explicit generator; overrides ``seed`` when given. Every
+            random draw of the generation flows through this single generator —
+            there is no hidden module-level RNG state.
 
     Returns:
         The generated :class:`ObjectCorpus`.
@@ -115,7 +127,7 @@ def generate_objects_on_network(
         raise DatasetError("cluster_fraction must be in [0, 1]")
     if not 0.0 <= hub_fraction <= 1.0 or cluster_fraction + hub_fraction > 1.0:
         raise DatasetError("cluster_fraction + hub_fraction must stay within [0, 1]")
-    rng = random.Random(seed)
+    rng = rng if rng is not None else random.Random(seed)
     nodes = list(network.nodes())
     if not nodes:
         raise DatasetError("cannot place objects on an empty network")
@@ -212,7 +224,9 @@ def assemble_dataset(
     mapping = map_objects_to_network(network, corpus)
     vsm = VectorSpaceModel(corpus)
     grid = GridIndex(corpus, resolution=grid_resolution, vsm=vsm)
-    scorer = RelevanceScorer(corpus, mapping, mode=ScoringMode.TEXT_RELEVANCE)
+    # The scorer shares the grid's VSM: one model in memory, and one model in a
+    # persisted artifact (IndexBundle.from_dataset wraps these structures as-is).
+    scorer = RelevanceScorer(corpus, mapping, mode=ScoringMode.TEXT_RELEVANCE, vsm=vsm)
     return SyntheticDataset(
         name=name,
         network=network,

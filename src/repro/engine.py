@@ -12,7 +12,10 @@ an engine in :class:`repro.service.QueryService`.
 from __future__ import annotations
 
 import threading
-from typing import Dict, Iterable, Optional, Union
+from typing import TYPE_CHECKING, Dict, Iterable, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from pathlib import Path
 
 from repro.core.app import APPSolver
 from repro.core.exact import ExactSolver
@@ -144,6 +147,38 @@ class LCMSREngine:
         engine._attach(bundle, solvers, default_algorithm)
         return engine
 
+    @classmethod
+    def from_artifact(
+        cls,
+        path: Union[str, "Path"],
+        default_algorithm: str = "tgen",
+        mmap: bool = True,
+        verify: bool = True,
+    ) -> "LCMSREngine":
+        """Create an engine from a persisted index artifact — no offline build.
+
+        The artifact (written by :meth:`IndexBundle.save
+        <repro.service.bundle.IndexBundle.save>` or ``python -m repro build``)
+        is loaded with the CSR arrays memory-mapped read-only, so the engine is
+        query-ready in I/O-bound time instead of index-rebuild time.
+
+        Args:
+            path: The artifact directory.
+            default_algorithm: Algorithm used when a query does not name one.
+            mmap: Memory-map the network arrays (default) or load them eagerly.
+            verify: Verify artifact checksums before loading.
+
+        Returns:
+            An engine serving queries from the loaded bundle.
+
+        Raises:
+            ArtifactError: If the artifact is missing, corrupt or written by an
+                unsupported format version.
+            QueryError: If ``default_algorithm`` is unknown.
+        """
+        bundle = IndexBundle.load(path, mmap=mmap, verify=verify)
+        return cls.from_bundle(bundle, default_algorithm=default_algorithm)
+
     # ------------------------------------------------------------------ configuration
     @property
     def bundle(self) -> IndexBundle:
@@ -152,8 +187,13 @@ class LCMSREngine:
 
     @property
     def network(self) -> RoadNetwork:
-        """The indexed road network (the mutable dict-backed original)."""
-        return self._bundle.network
+        """The indexed road network as a mutable dict-backed graph.
+
+        For engines created with :meth:`from_artifact` the dict backend does not
+        exist yet; the first access thaws it from the CSR snapshot (queries never
+        need it — they run on :attr:`graph_view`).
+        """
+        return self._bundle.road_network()
 
     @property
     def graph_view(self) -> "GraphView":

@@ -60,6 +60,15 @@ class DatasetError(ReproError):
     """Raised when dataset generation or loading fails."""
 
 
+class ArtifactError(ReproError):
+    """Raised when a persisted index-bundle artifact cannot be written or loaded.
+
+    Covers missing or malformed manifests, unsupported artifact format versions,
+    checksum mismatches (on-disk corruption) and refusals to overwrite an existing
+    artifact directory. See :mod:`repro.service.persist`.
+    """
+
+
 class SolverError(ReproError):
     """Raised when an algorithm cannot produce a result.
 

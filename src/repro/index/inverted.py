@@ -59,6 +59,20 @@ class InvertedIndex:
         for obj in objects:
             self.add_object(obj)
 
+    # ------------------------------------------------------------------ pickling
+    def __getstate__(self):
+        # The vocabulary set is serialised in sorted order so that pickles of the
+        # same logical index are byte-identical regardless of string-hash
+        # randomisation — persisted artifacts rely on this for reproducible,
+        # checksummable bytes (see repro.service.persist).
+        state = dict(self.__dict__)
+        state["_vocabulary"] = sorted(self._vocabulary)
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self._vocabulary = set(state["_vocabulary"])
+
     # ------------------------------------------------------------------ read
     @property
     def vocabulary(self) -> Set[str]:

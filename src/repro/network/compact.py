@@ -30,6 +30,16 @@ Two further properties matter for correctness:
   no per-node or per-edge Python work — which is where the per-query speedup of the
   compact backend comes from.
 
+Snapshots also carry flat Python list mirrors of the arrays for the traversal hot
+loops (per-element numpy access is far slower than list indexing). The mirrors are
+built **lazily** on first traversal: windowing, coordinate masks, statistics and the
+whole :mod:`repro.service.persist` load path run on the raw arrays alone. A snapshot
+whose arrays are memory-mapped from an on-disk artifact therefore does no Python-side
+materialisation at load time — construction touches only shapes plus one vectorised
+id-uniqueness scan, and the expensive per-element mirror build is deferred until a
+traversal actually happens (artifact loads with checksum verification enabled stream
+the file once for hashing, which warms the page cache but still builds nothing).
+
 :class:`GraphView` is the minimal protocol shared by :class:`RoadNetwork` and
 :class:`CompactNetwork`; solver and routing code is written against it so either
 backend can be plugged in.
@@ -135,6 +145,7 @@ class CompactNetwork:
         indptr: np.ndarray,
         indices: np.ndarray,
         lengths: np.ndarray,
+        validate_ids: bool = True,
     ) -> None:
         self._ids = np.asarray(ids, dtype=np.int64)
         self._xs = np.asarray(xs, dtype=np.float64)
@@ -149,29 +160,74 @@ class CompactNetwork:
             raise GraphError("indptr must have num_nodes + 1 entries")
         if self._indices.shape[0] != self._lengths.shape[0]:
             raise GraphError("indices and lengths must align")
-        # Flat Python mirrors: traversal loops index these instead of numpy arrays
-        # because per-element numpy access costs far more than list indexing.
-        self._ids_list: List[int] = self._ids.tolist()
-        self._indptr_list: List[int] = self._indptr.tolist()
-        self._nbr_ids_list: List[int] = (
+        # Vectorised uniqueness check: keeps the "corrupt snapshot fails at
+        # construction" guarantee (important for artifact loading) without
+        # materialising the Python id map. Derived views (window/subgraph) keep
+        # a subset of already-validated ids and skip the re-check.
+        if validate_ids and np.unique(self._ids).shape[0] != n:
+            raise GraphError("duplicate node ids in snapshot")
+        self._num_edges = int(self._indices.shape[0]) // 2
+        # Flat Python mirrors (traversal loops index these instead of numpy arrays
+        # because per-element numpy access costs far more than list indexing) and
+        # the id → dense-position map are built lazily by _materialize_lists /
+        # _id_map: pure-array consumers — windowing, stats, persistence — never
+        # pay for them, which keeps mmap-loaded snapshots engine-ready without
+        # reading the arrays.
+        self._ids_list: List[int] | None = None
+        self._indptr_list: List[int] | None = None
+        self._nbr_ids_list: List[int] | None = None
+        self._nbr_pos_list: List[int] | None = None
+        self._lengths_list: List[float] | None = None
+        self._nbr_pairs_list: List[Tuple[int, float]] | None = None
+        self._id_to_index: Dict[int, int] | None = None
+        self._row_of_entry: np.ndarray | None = None  # lazy np.repeat cache
+        self._length_stats: Tuple[float, float, float] | None = None
+
+    def _materialize_lists(self) -> None:
+        """Build the flat list mirrors of the CSR arrays (idempotent, lazy)."""
+        if self._ids_list is not None:
+            return
+        indptr_list = self._indptr.tolist()
+        nbr_ids_list: List[int] = (
             self._ids[self._indices].tolist() if self._indices.size else []
         )
-        self._nbr_pos_list: List[int] = self._indices.tolist()
-        self._lengths_list: List[float] = self._lengths.tolist()
+        nbr_pos_list: List[int] = self._indices.tolist()
+        lengths_list: List[float] = self._lengths.tolist()
         # Pre-zipped (neighbor_id, length) pairs: neighbor_items() slices this one
         # flat list (pointer copies only) instead of zipping two slices per call,
         # which would allocate fresh tuples on every visit of a node.
-        self._nbr_pairs_list: List[Tuple[int, float]] = list(
-            zip(self._nbr_ids_list, self._lengths_list)
+        nbr_pairs_list: List[Tuple[int, float]] = list(zip(nbr_ids_list, lengths_list))
+        self._indptr_list = indptr_list
+        self._nbr_ids_list = nbr_ids_list
+        self._nbr_pos_list = nbr_pos_list
+        self._lengths_list = lengths_list
+        self._nbr_pairs_list = nbr_pairs_list
+        # Assigned last: readers gate on _ids_list, so under the GIL a concurrent
+        # reader either sees None (and rebuilds, idempotently) or a complete set.
+        self._ids_list = self._ids.tolist()
+
+    def _lists(self) -> Tuple[List[int], List[int], List[int], List[float], List[int]]:
+        """Return ``(indptr, positions, neighbor_ids, lengths, ids)`` flat lists."""
+        if self._ids_list is None:
+            self._materialize_lists()
+        return (
+            self._indptr_list,  # type: ignore[return-value]
+            self._nbr_pos_list,
+            self._nbr_ids_list,
+            self._lengths_list,
+            self._ids_list,
         )
-        self._id_to_index: Dict[int, int] = {
-            node_id: index for index, node_id in enumerate(self._ids_list)
-        }
-        if len(self._id_to_index) != n:
-            raise GraphError("duplicate node ids in snapshot")
-        self._num_edges = self._indices.shape[0] // 2
-        self._row_of_entry: np.ndarray | None = None  # lazy np.repeat cache
-        self._length_stats: Tuple[float, float, float] | None = None
+
+    def _id_map(self) -> Dict[int, int]:
+        """Return the node-id → dense-position map (built lazily).
+
+        Id uniqueness was already validated vectorised in ``__init__``.
+        """
+        if self._id_to_index is None:
+            self._id_to_index = {
+                node_id: index for index, node_id in enumerate(self._ids.tolist())
+            }
+        return self._id_to_index
 
     # ------------------------------------------------------------------ construction
     @classmethod
@@ -214,8 +270,11 @@ class CompactNetwork:
     def to_network(self) -> RoadNetwork:
         """Thaw the snapshot back into a mutable :class:`RoadNetwork`."""
         network = RoadNetwork()
-        for index, node_id in enumerate(self._ids_list):
-            network.add_node(node_id, self._xs[index], self._ys[index])
+        ids = self._lists()[4]
+        xs = self._xs.tolist()
+        ys = self._ys.tolist()
+        for index, node_id in enumerate(ids):
+            network.add_node(node_id, xs[index], ys[index])
         for edge in self.edges():
             network.add_edge(edge.u, edge.v, edge.length)
         return network
@@ -230,19 +289,19 @@ class CompactNetwork:
 
     # ------------------------------------------------------------------ inspection
     def __contains__(self, node_id: int) -> bool:
-        return node_id in self._id_to_index
+        return node_id in self._id_map()
 
     def contains(self, node_id: int) -> bool:
         """Return ``True`` if ``node_id`` is a node of the snapshot."""
-        return node_id in self._id_to_index
+        return node_id in self._id_map()
 
     def __len__(self) -> int:
-        return len(self._ids_list)
+        return int(self._ids.shape[0])
 
     @property
     def num_nodes(self) -> int:
         """Number of nodes in the snapshot."""
-        return len(self._ids_list)
+        return int(self._ids.shape[0])
 
     @property
     def num_edges(self) -> int:
@@ -256,7 +315,7 @@ class CompactNetwork:
             NodeNotFoundError: If ``node_id`` is not in the snapshot.
         """
         try:
-            return self._id_to_index[node_id]
+            return self._id_map()[node_id]
         except KeyError:
             raise NodeNotFoundError(node_id) from None
 
@@ -272,17 +331,20 @@ class CompactNetwork:
         id. The lists are shared, not copied — callers must treat them as
         read-only.
         """
-        return (
-            self._indptr_list,
-            self._nbr_pos_list,
-            self._nbr_ids_list,
-            self._lengths_list,
-            self._ids_list,
-        )
+        return self._lists()
 
     def csr_index_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Return the raw ``(indptr, indices, lengths)`` numpy arrays (read-only)."""
         return self._indptr, self._indices, self._lengths
+
+    def csr_node_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return the raw ``(ids, xs, ys)`` numpy arrays (read-only).
+
+        Together with :meth:`csr_index_arrays` this is the complete defining state
+        of a snapshot — the six arrays :mod:`repro.service.persist` writes to and
+        memory-maps from an on-disk artifact.
+        """
+        return self._ids, self._xs, self._ys
 
     def node(self, node_id: int) -> Node:
         """Return the :class:`Node` for ``node_id``; raises :class:`NodeNotFoundError`."""
@@ -296,19 +358,20 @@ class CompactNetwork:
 
     def nodes(self) -> Iterator[Node]:
         """Iterate over all nodes."""
-        for index, node_id in enumerate(self._ids_list):
-            yield Node(node_id, float(self._xs[index]), float(self._ys[index]))
+        ids = self._lists()[4]
+        xs = self._xs.tolist()
+        ys = self._ys.tolist()
+        for index, node_id in enumerate(ids):
+            yield Node(node_id, xs[index], ys[index])
 
     def node_ids(self) -> Iterator[int]:
         """Iterate over all node identifiers (snapshot order)."""
-        return iter(self._ids_list)
+        return iter(self._lists()[4])
 
     def edges(self) -> Iterator[Edge]:
         """Iterate over all undirected edges, each reported once in normalised order."""
-        indptr = self._indptr_list
-        neighbor_ids = self._nbr_ids_list
-        lengths = self._lengths_list
-        for index, u in enumerate(self._ids_list):
+        indptr, _, neighbor_ids, lengths, ids = self._lists()
+        for index, u in enumerate(ids):
             for slot in range(indptr[index], indptr[index + 1]):
                 v = neighbor_ids[slot]
                 if u < v:
@@ -317,34 +380,39 @@ class CompactNetwork:
     def neighbors(self, node_id: int) -> Iterator[int]:
         """Iterate over the neighbour identifiers of ``node_id``."""
         index = self.index_of(node_id)
-        return iter(self._nbr_ids_list[self._indptr_list[index] : self._indptr_list[index + 1]])
+        indptr, _, neighbor_ids, _, _ = self._lists()
+        return iter(neighbor_ids[indptr[index] : indptr[index + 1]])
 
     def neighbor_items(self, node_id: int) -> Iterator[Tuple[int, float]]:
         """Iterate over ``(neighbor_id, edge_length)`` pairs of ``node_id``."""
         index = self.index_of(node_id)
-        return iter(self._nbr_pairs_list[self._indptr_list[index] : self._indptr_list[index + 1]])
+        self._materialize_lists()
+        indptr = self._indptr_list
+        return iter(self._nbr_pairs_list[indptr[index] : indptr[index + 1]])
 
     def degree(self, node_id: int) -> int:
         """Return the number of incident edges of ``node_id``."""
         index = self.index_of(node_id)
-        return self._indptr_list[index + 1] - self._indptr_list[index]
+        return int(self._indptr[index + 1]) - int(self._indptr[index])
 
     def has_edge(self, u: int, v: int) -> bool:
         """Return ``True`` if the undirected edge ``(u, v)`` exists."""
-        index = self._id_to_index.get(u)
+        index = self._id_map().get(u)
         if index is None:
             return False
-        start, end = self._indptr_list[index], self._indptr_list[index + 1]
-        return v in self._nbr_ids_list[start:end]
+        indptr, _, neighbor_ids, _, _ = self._lists()
+        start, end = indptr[index], indptr[index + 1]
+        return v in neighbor_ids[start:end]
 
     def edge_length(self, u: int, v: int) -> float:
         """Return the road-segment length τ(u, v); raises if the edge does not exist."""
-        index = self._id_to_index.get(u)
+        index = self._id_map().get(u)
         if index is not None:
-            start, end = self._indptr_list[index], self._indptr_list[index + 1]
+            indptr, _, neighbor_ids, lengths, _ = self._lists()
+            start, end = indptr[index], indptr[index + 1]
             for slot in range(start, end):
-                if self._nbr_ids_list[slot] == v:
-                    return self._lengths_list[slot]
+                if neighbor_ids[slot] == v:
+                    return lengths[slot]
         raise EdgeNotFoundError(u, v)
 
     def euclidean(self, u: int, v: int) -> float:
@@ -393,9 +461,8 @@ class CompactNetwork:
     def bfs_order(self, start: int) -> List[int]:
         """Return node ids reachable from ``start`` in breadth-first order."""
         start_index = self.index_of(start)
-        indptr = self._indptr_list
-        columns = self._nbr_pos_list
-        visited = [False] * len(self._ids_list)
+        indptr, columns, _, _, ids = self._lists()
+        visited = [False] * len(ids)
         visited[start_index] = True
         order_indices: List[int] = [start_index]
         head = 0
@@ -407,12 +474,11 @@ class CompactNetwork:
                 if not visited[v]:
                     visited[v] = True
                     order_indices.append(v)
-        ids = self._ids_list
         return [ids[index] for index in order_indices]
 
     def connected_components(self) -> List[Set[int]]:
         """Return the connected components of the snapshot as sets of node ids."""
-        remaining: Set[int] = set(self._ids_list)
+        remaining: Set[int] = set(self._lists()[4])
         components: List[Set[int]] = []
         while remaining:
             start = next(iter(remaining))
@@ -423,9 +489,10 @@ class CompactNetwork:
 
     def is_connected(self) -> bool:
         """Return ``True`` if the snapshot has one connected component (or is empty)."""
-        if not self._ids_list:
+        ids = self._lists()[4]
+        if not ids:
             return True
-        return len(self.bfs_order(self._ids_list[0])) == len(self._ids_list)
+        return len(self.bfs_order(ids[0])) == len(ids)
 
     # ------------------------------------------------------------------ derived views
     def window_view(self, window: "Rectangle") -> "CompactNetwork":
@@ -467,14 +534,14 @@ class CompactNetwork:
         Raises:
             NodeNotFoundError: If any requested node is not in the snapshot.
         """
-        mask = np.zeros(len(self._ids_list), dtype=bool)
+        mask = np.zeros(self._ids.shape[0], dtype=bool)
         for node_id in node_ids:
             mask[self.index_of(node_id)] = True
         return self._masked_view(mask)
 
     def _masked_view(self, mask: np.ndarray) -> "CompactNetwork":
         keep = np.flatnonzero(mask)
-        new_position = np.full(len(self._ids_list), -1, dtype=np.int32)
+        new_position = np.full(self._ids.shape[0], -1, dtype=np.int32)
         new_position[keep] = np.arange(keep.size, dtype=np.int32)
         rows = self._entry_rows()
         entry_keep = mask[rows] & mask[self._indices]
@@ -492,13 +559,14 @@ class CompactNetwork:
             new_indptr,
             new_indices.astype(np.int32, copy=False),
             new_lengths,
+            validate_ids=False,  # a subset of this snapshot's already-unique ids
         )
 
     def _entry_rows(self) -> np.ndarray:
         """Row (source-node position) of every CSR entry, cached after first use."""
         if self._row_of_entry is None:
             self._row_of_entry = np.repeat(
-                np.arange(len(self._ids_list), dtype=np.int32), np.diff(self._indptr)
+                np.arange(self._ids.shape[0], dtype=np.int32), np.diff(self._indptr)
             )
         return self._row_of_entry
 

@@ -13,16 +13,38 @@ into a high-throughput service:
 * :class:`LRUCache` / :class:`CacheStats` — the thread-safe cache primitive.
 * :class:`ServiceStats` / :class:`QueryTiming` — per-query timing and aggregate
   accounting, rendered by :func:`repro.evaluation.reporting.format_service_stats`.
+* :mod:`repro.service.persist` — versioned on-disk index artifacts:
+  :func:`save_bundle` / :func:`load_bundle` (mmap-backed), the
+  :class:`ArtifactManifest` with checksums and a dataset fingerprint, and the
+  artifact cache behind the evaluation runner and the ``python -m repro`` CLI.
 """
 
 from repro.service.bundle import IndexBundle
 from repro.service.cache import CacheStats, LRUCache
 from repro.service.keys import InstanceKey, ResultKey, normalize_keywords
+from repro.service.persist import (
+    FORMAT_VERSION,
+    ArtifactManifest,
+    cached_dataset_bundle,
+    dataset_fingerprint,
+    load_bundle,
+    read_manifest,
+    save_bundle,
+    verify_artifact,
+)
 from repro.service.query_service import QueryRequest, QueryService, ServiceResult
 from repro.service.stats import QueryTiming, ServiceStats, StatsCollector
 
 __all__ = [
     "IndexBundle",
+    "ArtifactManifest",
+    "FORMAT_VERSION",
+    "save_bundle",
+    "load_bundle",
+    "read_manifest",
+    "verify_artifact",
+    "dataset_fingerprint",
+    "cached_dataset_bundle",
     "QueryService",
     "QueryRequest",
     "ServiceResult",

@@ -9,13 +9,20 @@ object. A bundle is built once — :meth:`IndexBundle.build` — and can then ba
 number of engines and any number of :class:`~repro.service.query_service.QueryService`
 workers concurrently: after construction the bundle is never mutated, so sharing it
 across threads is safe.
+
+Bundles also persist: :meth:`IndexBundle.save` writes a versioned on-disk artifact
+(manifest + mmap-able CSR arrays + pickled index structures, see
+:mod:`repro.service.persist`) and :meth:`IndexBundle.load` restores it without
+re-running any of the offline build — the path behind
+:meth:`LCMSREngine.from_artifact <repro.engine.LCMSREngine.from_artifact>` and the
+``python -m repro`` CLI.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.exceptions import QueryError
 from repro.index.grid import GridIndex
@@ -26,13 +33,21 @@ from repro.objects.mapping import NodeObjectMap, map_objects_to_network
 from repro.textindex.relevance import RelevanceScorer, ScoringMode
 from repro.textindex.vector_space import VectorSpaceModel
 
+if TYPE_CHECKING:  # pragma: no cover - typing only (persist imports the bundle)
+    from repro.datasets.synthetic import SyntheticDataset
+    from repro.service.persist import ArtifactManifest, PathLike
+
 
 @dataclass(frozen=True)
 class IndexBundle:
     """Everything the serving path needs that is query-independent.
 
     Attributes:
-        network: The road network (paper Section 2's graph ``G``).
+        network: The road network (paper Section 2's graph ``G``). ``None`` for
+            bundles restored from an on-disk artifact — the query path runs
+            entirely on the CSR snapshot; call :meth:`road_network` when a
+            mutable dict-backed copy is genuinely needed (it thaws the snapshot
+            on first use and caches the result).
         corpus: The geo-textual objects ``O``.
         mapping: The object → nearest-node mapping that turns object scores into the
             node weights σ_v.
@@ -52,7 +67,7 @@ class IndexBundle:
             ``freeze_network=False`` (benchmark comparisons, legacy callers).
     """
 
-    network: RoadNetwork
+    network: Optional[RoadNetwork]
     corpus: ObjectCorpus
     mapping: NodeObjectMap
     vsm: VectorSpaceModel
@@ -114,7 +129,10 @@ class IndexBundle:
         timings["grid"] = time.perf_counter() - start
 
         start = time.perf_counter()
-        scorer = RelevanceScorer(corpus, mapping, mode=scoring_mode)
+        # Share the bundle's VSM instead of letting the scorer build an identical
+        # second model: halves the text-model build time and, when the bundle is
+        # persisted, stores the model once instead of twice.
+        scorer = RelevanceScorer(corpus, mapping, mode=scoring_mode, vsm=vsm)
         timings["scorer"] = time.perf_counter() - start
 
         compact: Optional[CompactNetwork] = None
@@ -137,6 +155,115 @@ class IndexBundle:
             build_seconds=timings,
         )
 
+    @classmethod
+    def from_dataset(
+        cls,
+        dataset: "SyntheticDataset",
+        freeze_network: bool = True,
+        compact: Optional[CompactNetwork] = None,
+    ) -> "IndexBundle":
+        """Wrap an already-assembled dataset into a bundle without rebuilding.
+
+        :func:`repro.datasets.synthetic.assemble_dataset` has already paid for the
+        mapping, the vector-space model and the grid; this constructor reuses
+        those structures directly (the only new work is the optional CSR freeze).
+        It is the cheap path behind the ``python -m repro build`` CLI and the
+        evaluation runner's artifact cache — by contrast :meth:`build` re-derives
+        everything from the raw network + corpus.
+
+        Args:
+            dataset: The assembled dataset to wrap.
+            freeze_network: Also freeze the network into a CSR snapshot (default).
+            compact: Optional pre-frozen snapshot of ``dataset.network`` to reuse
+                instead of freezing again (the artifact cache freezes early for
+                fingerprinting).
+
+        Returns:
+            A bundle sharing the dataset's index structures.
+        """
+        start = time.perf_counter()
+        if freeze_network and compact is None:
+            compact = CompactNetwork.from_network(dataset.network)
+        elif not freeze_network:
+            compact = None
+        elapsed = time.perf_counter() - start
+        return cls(
+            network=dataset.network,
+            corpus=dataset.corpus,
+            mapping=dataset.mapping,
+            vsm=dataset.grid.vector_space_model,
+            grid=dataset.grid,
+            scorer=dataset.scorer,
+            scoring_mode=dataset.scorer.mode,
+            grid_resolution=dataset.grid.resolution,
+            build_seconds={"freeze": elapsed, "total": elapsed},
+            compact=compact,
+        )
+
+    # ------------------------------------------------------------------ persistence
+    def save(self, path: "PathLike", overwrite: bool = False) -> "ArtifactManifest":
+        """Persist the bundle as a versioned on-disk artifact directory.
+
+        See :func:`repro.service.persist.save_bundle` for the layout, determinism
+        and versioning guarantees.
+
+        Args:
+            path: Target artifact directory (created if missing).
+            overwrite: Replace an existing artifact instead of raising.
+
+        Returns:
+            The written :class:`~repro.service.persist.ArtifactManifest`.
+
+        Raises:
+            ArtifactError: If ``path`` already holds an artifact and
+                ``overwrite`` is false.
+        """
+        from repro.service import persist
+
+        return persist.save_bundle(self, path, overwrite=overwrite)
+
+    @classmethod
+    def load(
+        cls, path: "PathLike", mmap: bool = True, verify: bool = True
+    ) -> "IndexBundle":
+        """Restore a bundle from an artifact directory written by :meth:`save`.
+
+        The CSR arrays come back as read-only memory maps (unless ``mmap`` is
+        false), so loading is I/O-bound instead of rebuild-bound.
+
+        Args:
+            path: The artifact directory.
+            mmap: Memory-map the network arrays (default) or load them eagerly.
+            verify: Check file checksums against the manifest first.
+
+        Returns:
+            A bundle answering queries identically to the one that was saved.
+
+        Raises:
+            ArtifactError: On a missing/corrupt artifact or version mismatch.
+        """
+        from repro.service import persist
+
+        return persist.load_bundle(path, mmap=mmap, verify=verify)
+
+    def road_network(self) -> RoadNetwork:
+        """The mutable dict-backed road network, thawed from the snapshot if needed.
+
+        Bundles loaded from an artifact carry only the CSR snapshot; the first
+        call reconstructs a :class:`RoadNetwork` from it and caches it on the
+        bundle. Query execution never needs this — it exists for callers that
+        want to mutate or re-index the graph.
+        """
+        if self.network is None:
+            assert self.compact is not None
+            thawed = self.compact.to_network()
+            # Lock-free single-assignment: a racing thread may thaw its own copy,
+            # but whichever assignment lands is what every caller returns (the
+            # re-read below), so all threads share one RoadNetwork afterwards.
+            if self.network is None:
+                object.__setattr__(self, "network", thawed)
+        return self.network
+
     def graph_view(self) -> GraphView:
         """The network representation the query hot path should traverse.
 
@@ -149,8 +276,9 @@ class IndexBundle:
     def describe(self) -> str:
         """One-line summary of the indexed dataset (used in logs and reports)."""
         backend = "csr" if self.compact is not None else "dict"
+        view = self.graph_view()
         return (
-            f"{self.network.num_nodes} nodes / {self.network.num_edges} edges "
+            f"{view.num_nodes} nodes / {view.num_edges} edges "
             f"({backend} backend), "
             f"{len(self.corpus)} objects, grid {self.grid_resolution}x{self.grid_resolution} "
             f"({self.grid.num_nonempty_cells} non-empty cells), "

@@ -1,0 +1,511 @@
+"""Persistent index-bundle artifacts: build the indexes once, serve from disk forever.
+
+Every process used to pay the full offline pipeline — object → node mapping, the
+TF-IDF vector-space model, the grid + inverted lists and the CSR freeze — before it
+could answer a single query. This module serialises a complete
+:class:`~repro.service.bundle.IndexBundle` into a **versioned directory artifact**
+and loads it back with the large arrays memory-mapped, separating offline index
+construction (``python -m repro build``) from online serving
+(:meth:`LCMSREngine.from_artifact <repro.engine.LCMSREngine.from_artifact>`).
+
+Artifact layout (one directory per artifact)::
+
+    <artifact>/
+        manifest.json     format version, dataset fingerprint, build parameters,
+                          per-file SHA-256 checksums, headline statistics
+        network.npz       the CompactNetwork CSR arrays (ids, xs, ys, indptr,
+                          indices, lengths), stored uncompressed and loaded back
+                          as read-only memory maps
+        index.pkl         the derived index structures — object corpus, node ↔
+                          object mapping, vector-space model, grid cells +
+                          inverted lists, relevance-scorer config — pickled as
+                          ONE object graph so shared substructures (the corpus,
+                          the VSM) are stored and restored exactly once
+        vocabulary.json   the sorted corpus term list (cheap metadata for tools
+                          that don't want to unpickle the corpus)
+
+Design notes:
+
+* **Determinism.** Two builds of the same dataset under the same seed produce
+  byte-identical artifacts: the npz member timestamps are pinned to the zip epoch,
+  the manifest carries no wall-clock fields, JSON keys are sorted, and the pickle
+  uses a fixed protocol (sets are canonicalised before pickling — see
+  :meth:`InvertedIndex.__getstate__ <repro.index.inverted.InvertedIndex.__getstate__>`).
+  This makes artifacts diffable, checksummable and safe to cache by content.
+* **mmap loading.** ``network.npz`` is written uncompressed (``ZIP_STORED``), so
+  each member's raw ``.npy`` payload sits at a known offset inside the file and can
+  be mapped directly with :class:`numpy.memmap` in read-only mode. Loading is
+  therefore I/O-bound header parsing, not array materialisation — combined with
+  :class:`~repro.network.compact.CompactNetwork`'s lazy traversal mirrors, an
+  engine is query-ready without reading the bulk of the arrays.
+* **Versioning policy.** ``format_version`` is bumped on any layout or encoding
+  change; loaders refuse other versions outright (no silent migration). The
+  ``fingerprint`` identifies the *dataset content* independent of the format, so
+  caches can answer "is this artifact built from these exact inputs?" without
+  deserialising anything.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import pickle
+import struct
+import time
+import zipfile
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, Optional, Union
+
+import numpy as np
+
+from repro.exceptions import ArtifactError
+from repro.network.compact import CompactNetwork, GraphView
+from repro.objects.corpus import ObjectCorpus
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (bundle imports persist)
+    from repro.service.bundle import IndexBundle
+
+FORMAT_VERSION = 1
+"""Current on-disk artifact format version (see the module docstring)."""
+
+MANIFEST_NAME = "manifest.json"
+NETWORK_NAME = "network.npz"
+INDEX_NAME = "index.pkl"
+VOCABULARY_NAME = "vocabulary.json"
+
+_PICKLE_PROTOCOL = 4
+_ZIP_EPOCH = (1980, 1, 1, 0, 0, 0)  # fixed member timestamp => deterministic bytes
+_NETWORK_FIELDS = ("ids", "xs", "ys", "indptr", "indices", "lengths")
+
+PathLike = Union[str, Path]
+
+
+# ---------------------------------------------------------------------- manifest
+@dataclass(frozen=True)
+class ArtifactManifest:
+    """The machine-readable description of one on-disk artifact.
+
+    Attributes:
+        format_version: On-disk layout version; loaders accept exactly
+            :data:`FORMAT_VERSION`.
+        fingerprint: SHA-256 content fingerprint of the indexed dataset (network
+            CSR arrays + object corpus), format-independent — see
+            :func:`dataset_fingerprint`.
+        grid_resolution: Grid cells per axis the spatial index was built with.
+        scoring_mode: The bundle's :class:`~repro.textindex.relevance.ScoringMode`
+            value.
+        stats: Headline counts (nodes, edges, objects, vocabulary size).
+        checksums: ``file name → sha256 hex digest`` for every payload file.
+    """
+
+    format_version: int
+    fingerprint: str
+    grid_resolution: int
+    scoring_mode: str
+    stats: Dict[str, int] = field(default_factory=dict)
+    checksums: Dict[str, str] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        """Render the manifest as canonical (sorted-keys) JSON."""
+        return json.dumps(asdict(self), sort_keys=True, indent=2) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "ArtifactManifest":
+        """Parse a manifest; raises :class:`ArtifactError` on malformed content."""
+        try:
+            raw = json.loads(text)
+            return cls(
+                format_version=int(raw["format_version"]),
+                fingerprint=str(raw["fingerprint"]),
+                grid_resolution=int(raw["grid_resolution"]),
+                scoring_mode=str(raw["scoring_mode"]),
+                stats={str(k): int(v) for k, v in raw.get("stats", {}).items()},
+                checksums={str(k): str(v) for k, v in raw.get("checksums", {}).items()},
+            )
+        except (ValueError, KeyError, TypeError) as exc:
+            raise ArtifactError(f"malformed artifact manifest: {exc}") from exc
+
+
+def read_manifest(path: PathLike) -> ArtifactManifest:
+    """Read and validate the manifest of the artifact directory at ``path``.
+
+    Args:
+        path: The artifact directory.
+
+    Returns:
+        The parsed manifest.
+
+    Raises:
+        ArtifactError: If the directory or manifest is missing, the manifest is
+            malformed, or the artifact was written by an unsupported format
+            version.
+    """
+    manifest_path = Path(path) / MANIFEST_NAME
+    if not manifest_path.is_file():
+        raise ArtifactError(f"no artifact manifest at {manifest_path}")
+    manifest = ArtifactManifest.from_json(manifest_path.read_text(encoding="utf-8"))
+    if manifest.format_version != FORMAT_VERSION:
+        raise ArtifactError(
+            f"unsupported artifact format version {manifest.format_version} "
+            f"(this build reads version {FORMAT_VERSION}); rebuild the artifact "
+            f"with `python -m repro build`"
+        )
+    return manifest
+
+
+# ---------------------------------------------------------------------- fingerprint
+def dataset_fingerprint(network: GraphView, corpus: ObjectCorpus) -> str:
+    """Return a SHA-256 content fingerprint of a (network, corpus) pair.
+
+    The fingerprint covers the frozen CSR arrays (so node/edge identity, order,
+    coordinates and lengths all contribute) and every object's id, location,
+    rating and term-frequency map (terms in sorted order). It is independent of
+    the artifact format, so an in-memory dataset can be matched against a stored
+    manifest without serialising anything.
+    """
+    compact = CompactNetwork.from_network(network)
+    digest = hashlib.sha256()
+    ids, xs, ys = compact.csr_node_arrays()
+    indptr, indices, lengths = compact.csr_index_arrays()
+    for array in (ids, xs, ys, indptr, indices, lengths):
+        contiguous = np.ascontiguousarray(array)
+        digest.update(str(contiguous.dtype).encode("ascii"))
+        digest.update(struct.pack("<q", contiguous.shape[0]))
+        digest.update(contiguous.tobytes())
+    pack_header = struct.Struct("<qddd").pack
+    pack_count = struct.Struct("<q").pack
+    for obj in corpus:
+        digest.update(pack_header(obj.object_id, obj.x, obj.y, obj.rating))
+        for term in sorted(obj.keywords):
+            digest.update(term.encode("utf-8"))
+            digest.update(b"\x00")
+            digest.update(pack_count(obj.keywords[term]))
+    return digest.hexdigest()
+
+
+def _sha256_file(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+# ---------------------------------------------------------------------- npz helpers
+def _replace_into(temp_path: Path, final_path: Path) -> None:
+    """Atomically move a finished temp file into place (POSIX rename semantics).
+
+    Writing payloads to a sibling temp file first and renaming keeps two
+    guarantees: a crash mid-save never leaves a half-written file under the
+    final name, and **re-saving an artifact over itself is safe even while its
+    arrays are memory-mapped** — the open mapping keeps the old inode alive
+    while the new file takes over the directory entry (truncating the mapped
+    file in place would SIGBUS every reader).
+    """
+    temp_path.replace(final_path)
+
+
+def _write_npz(path: Path, arrays: Dict[str, np.ndarray]) -> None:
+    """Write ``arrays`` as an uncompressed, byte-deterministic ``.npz`` file.
+
+    Unlike :func:`numpy.savez` this pins every zip member's timestamp to the zip
+    epoch, so identical arrays always produce identical bytes. Members are stored
+    (not deflated) so :func:`_mmap_npz` can map them in place. The file is
+    written to a temp sibling and renamed into place (see :func:`_replace_into`).
+    """
+    temp_path = path.with_name(path.name + ".tmp")
+    with zipfile.ZipFile(temp_path, "w", compression=zipfile.ZIP_STORED) as archive:
+        for name in sorted(arrays):
+            buffer = io.BytesIO()
+            np.lib.format.write_array(
+                buffer, np.ascontiguousarray(arrays[name]), allow_pickle=False
+            )
+            info = zipfile.ZipInfo(name + ".npy", date_time=_ZIP_EPOCH)
+            info.compress_type = zipfile.ZIP_STORED
+            info.external_attr = 0o644 << 16
+            archive.writestr(info, buffer.getvalue())
+    _replace_into(temp_path, path)
+
+
+def _write_bytes_atomic(path: Path, data: bytes) -> None:
+    temp_path = path.with_name(path.name + ".tmp")
+    temp_path.write_bytes(data)
+    _replace_into(temp_path, path)
+
+
+def _npy_data_offset(path: Path, info: zipfile.ZipInfo) -> int:
+    """Return the absolute file offset of a stored zip member's payload."""
+    with open(path, "rb") as handle:
+        handle.seek(info.header_offset)
+        header = handle.read(30)
+        if len(header) != 30 or header[:4] != b"PK\x03\x04":
+            raise ArtifactError(f"corrupt zip local header in {path.name}")
+        name_length = int.from_bytes(header[26:28], "little")
+        extra_length = int.from_bytes(header[28:30], "little")
+        return info.header_offset + 30 + name_length + extra_length
+
+
+def _mmap_npz(path: Path) -> Dict[str, np.ndarray]:
+    """Open every array of an uncompressed ``.npz`` as a read-only memory map.
+
+    Falls back to an eager :func:`numpy.load` (with the writeable flag cleared)
+    for members that are compressed or otherwise un-mappable, so the loader keeps
+    working on foreign npz files — only the laziness is lost.
+    """
+    arrays: Dict[str, np.ndarray] = {}
+    with zipfile.ZipFile(path, "r") as archive:
+        for info in archive.infolist():
+            name = info.filename[:-4] if info.filename.endswith(".npy") else info.filename
+            if info.compress_type != zipfile.ZIP_STORED:
+                loaded = np.load(io.BytesIO(archive.read(info)), allow_pickle=False)
+                loaded.flags.writeable = False
+                arrays[name] = loaded
+                continue
+            data_offset = _npy_data_offset(path, info)
+            with open(path, "rb") as handle:
+                handle.seek(data_offset)
+                version = np.lib.format.read_magic(handle)
+                if version == (1, 0):
+                    shape, fortran, dtype = np.lib.format.read_array_header_1_0(handle)
+                else:
+                    shape, fortran, dtype = np.lib.format.read_array_header_2_0(handle)
+                array_offset = handle.tell()
+            arrays[name] = np.memmap(
+                path,
+                dtype=dtype,
+                mode="r",
+                offset=array_offset,
+                shape=shape,
+                order="F" if fortran else "C",
+            )
+    return arrays
+
+
+def _load_npz_eager(path: Path) -> Dict[str, np.ndarray]:
+    """Load every array of an ``.npz`` into memory (used when ``mmap=False``)."""
+    with np.load(path, allow_pickle=False) as archive:
+        return {name: archive[name] for name in archive.files}
+
+
+# ---------------------------------------------------------------------- save / load
+def save_bundle(
+    bundle: "IndexBundle",
+    path: PathLike,
+    overwrite: bool = False,
+    fingerprint: Optional[str] = None,
+) -> ArtifactManifest:
+    """Serialise ``bundle`` into the artifact directory at ``path``.
+
+    Args:
+        bundle: The bundle to persist. It must carry a frozen CSR snapshot
+            (``bundle.compact``); bundles built with ``freeze_network=False`` are
+            frozen on the fly.
+        path: Target directory; created (including parents) if missing.
+        overwrite: Allow replacing an existing artifact (a directory that already
+            holds a manifest). Without it, an existing artifact raises.
+        fingerprint: Optional precomputed :func:`dataset_fingerprint` of this
+            bundle's (network, corpus); computed here when omitted. Callers that
+            already fingerprinted the dataset (the artifact cache) pass it to
+            avoid hashing the content twice.
+
+    Returns:
+        The manifest that was written.
+
+    Raises:
+        ArtifactError: If ``path`` holds an artifact and ``overwrite`` is false.
+    """
+    directory = Path(path)
+    manifest_path = directory / MANIFEST_NAME
+    if manifest_path.exists() and not overwrite:
+        raise ArtifactError(
+            f"artifact already exists at {directory}; pass overwrite=True "
+            f"(or --force on the CLI) to replace it"
+        )
+    directory.mkdir(parents=True, exist_ok=True)
+
+    compact = (
+        bundle.compact
+        if bundle.compact is not None
+        else CompactNetwork.from_network(bundle.network)
+    )
+    ids, xs, ys = compact.csr_node_arrays()
+    indptr, indices, lengths = compact.csr_index_arrays()
+    arrays = dict(zip(_NETWORK_FIELDS, (ids, xs, ys, indptr, indices, lengths)))
+    _write_npz(directory / NETWORK_NAME, arrays)
+
+    # One pickle for the whole derived-index object graph: the corpus and the
+    # vector-space model are referenced by the grid and the scorer, and pickling
+    # them together stores each shared structure exactly once (and restores the
+    # sharing on load).
+    payload = (bundle.corpus, bundle.mapping, bundle.vsm, bundle.grid, bundle.scorer)
+    _write_bytes_atomic(
+        directory / INDEX_NAME, pickle.dumps(payload, protocol=_PICKLE_PROTOCOL)
+    )
+
+    vocabulary = sorted(bundle.corpus.vocabulary())
+    _write_bytes_atomic(
+        directory / VOCABULARY_NAME,
+        (json.dumps(vocabulary, sort_keys=True, indent=0) + "\n").encode("utf-8"),
+    )
+
+    manifest = ArtifactManifest(
+        format_version=FORMAT_VERSION,
+        fingerprint=fingerprint or dataset_fingerprint(compact, bundle.corpus),
+        grid_resolution=bundle.grid_resolution,
+        scoring_mode=bundle.scoring_mode.value,
+        stats={
+            "num_nodes": compact.num_nodes,
+            "num_edges": compact.num_edges,
+            "num_objects": len(bundle.corpus),
+            "vocabulary_size": len(vocabulary),
+        },
+        checksums={
+            name: _sha256_file(directory / name)
+            for name in (NETWORK_NAME, INDEX_NAME, VOCABULARY_NAME)
+        },
+    )
+    _write_bytes_atomic(manifest_path, manifest.to_json().encode("utf-8"))
+    return manifest
+
+
+def verify_artifact(path: PathLike) -> ArtifactManifest:
+    """Check the artifact at ``path``: manifest readable, version supported,
+    every payload file present with a matching checksum.
+
+    Returns:
+        The verified manifest.
+
+    Raises:
+        ArtifactError: On any missing file, version mismatch or checksum failure.
+    """
+    directory = Path(path)
+    manifest = read_manifest(directory)
+    for name, expected in manifest.checksums.items():
+        file_path = directory / name
+        if not file_path.is_file():
+            raise ArtifactError(f"artifact file {name} missing from {directory}")
+        actual = _sha256_file(file_path)
+        if actual != expected:
+            raise ArtifactError(
+                f"checksum mismatch for {name} in {directory}: "
+                f"manifest says {expected[:12]}…, file hashes to {actual[:12]}… "
+                f"(artifact corrupted or tampered with)"
+            )
+    return manifest
+
+
+def load_bundle(
+    path: PathLike, mmap: bool = True, verify: bool = True
+) -> "IndexBundle":
+    """Load the artifact at ``path`` back into an :class:`IndexBundle`.
+
+    Args:
+        path: The artifact directory.
+        mmap: Map the CSR arrays read-only from disk (the default). ``False``
+            loads them eagerly into process memory — use it when the artifact
+            lives on storage that will disappear (e.g. a deleted temp dir).
+        verify: Verify file checksums against the manifest before loading
+            (detects on-disk corruption; costs one streaming hash per file).
+
+    Returns:
+        A bundle equivalent to the one that was saved. Its ``network`` field is
+        ``None`` until :meth:`IndexBundle.road_network
+        <repro.service.bundle.IndexBundle.road_network>` thaws the snapshot on
+        demand; every query path runs on the CSR snapshot and never needs it.
+
+    Raises:
+        ArtifactError: On a missing/malformed artifact, an unsupported format
+            version, or (with ``verify``) a checksum mismatch.
+    """
+    from repro.service.bundle import IndexBundle  # deferred: bundle imports persist
+
+    directory = Path(path)
+    start = time.perf_counter()
+    manifest = verify_artifact(directory) if verify else read_manifest(directory)
+
+    network_path = directory / NETWORK_NAME
+    index_path = directory / INDEX_NAME
+    if not network_path.is_file() or not index_path.is_file():
+        raise ArtifactError(f"artifact at {directory} is missing payload files")
+    try:
+        arrays = _mmap_npz(network_path) if mmap else _load_npz_eager(network_path)
+    except ArtifactError:
+        raise
+    except Exception as exc:  # corrupt zip / bad npy header (reachable with verify=False)
+        raise ArtifactError(f"cannot read {NETWORK_NAME}: {exc}") from exc
+    missing = [name for name in _NETWORK_FIELDS if name not in arrays]
+    if missing:
+        raise ArtifactError(f"network.npz is missing arrays: {missing}")
+    compact = CompactNetwork(*(arrays[name] for name in _NETWORK_FIELDS))
+
+    try:
+        corpus, mapping, vsm, grid, scorer = pickle.loads(index_path.read_bytes())
+    except Exception as exc:  # unpicklable / truncated payload
+        raise ArtifactError(f"cannot deserialise {INDEX_NAME}: {exc}") from exc
+
+    elapsed = time.perf_counter() - start
+    return IndexBundle(
+        network=None,
+        corpus=corpus,
+        mapping=mapping,
+        vsm=vsm,
+        grid=grid,
+        scorer=scorer,
+        scoring_mode=scorer.mode,
+        grid_resolution=manifest.grid_resolution,
+        build_seconds={"load": elapsed, "total": elapsed},
+        compact=compact,
+    )
+
+
+# ---------------------------------------------------------------------- caching
+def cached_dataset_bundle(
+    dataset, cache_dir: PathLike, freeze_network: bool = True
+) -> "IndexBundle":
+    """Return an :class:`IndexBundle` for ``dataset``, reusing an on-disk artifact.
+
+    The cache key is the dataset's content fingerprint, so a stale artifact (same
+    name, different data) is never served: on a miss the bundle is assembled from
+    the dataset's prebuilt structures, saved under
+    ``<cache_dir>/<name>-<fingerprint[:12]>``, and returned.
+
+    Costing note: computing the fingerprint requires freezing the network and
+    hashing the content, and a hit additionally verifies and loads the artifact —
+    so for a dataset already assembled in this process, the call is *not* faster
+    than :meth:`IndexBundle.from_dataset`. What the cache buys is the durable,
+    content-addressed artifact itself: every other consumer (CLI, services, CI
+    fixtures, later benchmark processes) can ``load_bundle`` it without building
+    the dataset, and concurrent loaders share the mmap page cache.
+    """
+    from repro.service.bundle import IndexBundle  # deferred: bundle imports persist
+
+    # Freeze once and fingerprint the snapshot: the fingerprint needs the CSR
+    # arrays anyway, and on a miss the same snapshot goes into the bundle.
+    compact = CompactNetwork.from_network(dataset.network)
+    fingerprint = dataset_fingerprint(compact, dataset.corpus)
+    slug = "".join(
+        ch if ch.isalnum() or ch in "-_" else "-" for ch in dataset.name.lower()
+    )
+    # The directory name carries the grid resolution and the manifest check
+    # covers every build parameter: the same (network, corpus) content indexed
+    # differently (e.g. a grid-resolution ablation) must never alias.
+    directory = (
+        Path(cache_dir) / f"{slug}-g{dataset.grid.resolution}-{fingerprint[:12]}"
+    )
+    try:
+        manifest = read_manifest(directory)
+        if (
+            manifest.fingerprint == fingerprint
+            and manifest.grid_resolution == dataset.grid.resolution
+            and manifest.scoring_mode == dataset.scorer.mode.value
+        ):
+            return load_bundle(directory)
+    except ArtifactError:
+        pass  # absent, stale or unreadable: rebuild below
+    bundle = IndexBundle.from_dataset(
+        dataset, freeze_network=freeze_network, compact=compact if freeze_network else None
+    )
+    save_bundle(bundle, directory, overwrite=True, fingerprint=fingerprint)
+    return bundle

@@ -30,6 +30,7 @@ import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
+from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.instance import ProblemInstance
@@ -92,7 +93,9 @@ class QueryService:
     Args:
         engine: The engine whose indexes (via its
             :class:`~repro.service.bundle.IndexBundle`) and solver registry serve
-            the queries.
+            the queries — or the path of a persisted index artifact (written by
+            ``python -m repro build``), from which an engine is loaded via
+            :meth:`LCMSREngine.from_artifact <repro.engine.LCMSREngine.from_artifact>`.
         max_workers: Worker-pool size for the batch API; defaults to
             ``min(8, cpu_count)``.
         result_cache_size: Capacity of the result LRU (0 disables result caching).
@@ -101,11 +104,12 @@ class QueryService:
 
     Raises:
         QueryError: If ``max_workers`` is not positive.
+        ArtifactError: If an artifact path was given and cannot be loaded.
     """
 
     def __init__(
         self,
-        engine: "LCMSREngine",
+        engine: Union["LCMSREngine", str, Path],
         max_workers: Optional[int] = None,
         result_cache_size: int = 512,
         instance_cache_size: int = 128,
@@ -114,6 +118,10 @@ class QueryService:
             max_workers = min(8, os.cpu_count() or 2)
         if max_workers < 1:
             raise QueryError(f"max_workers must be >= 1, got {max_workers}")
+        if isinstance(engine, (str, Path)):
+            from repro.engine import LCMSREngine  # deferred: engine imports service
+
+            engine = LCMSREngine.from_artifact(engine)
         self._engine = engine
         self._max_workers = max_workers
         self._result_cache = LRUCache(result_cache_size)

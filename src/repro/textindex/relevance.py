@@ -103,6 +103,9 @@ class RelevanceScorer:
         mode: Which per-object weight definition to use.
         language_model_smoothing: Smoothing parameter when ``mode`` is
             ``LANGUAGE_MODEL``.
+        vsm: Optional prebuilt vector-space model over ``corpus``. Passing the
+            bundle's shared model avoids building (and, in persisted artifacts,
+            serialising) a second identical model; one is built when omitted.
     """
 
     def __init__(
@@ -111,11 +114,12 @@ class RelevanceScorer:
         mapping: NodeObjectMap,
         mode: ScoringMode = ScoringMode.TEXT_RELEVANCE,
         language_model_smoothing: float = 0.2,
+        vsm: Optional[VectorSpaceModel] = None,
     ) -> None:
         self._corpus = corpus
         self._mapping = mapping
         self._mode = mode
-        self._vsm = VectorSpaceModel(corpus)
+        self._vsm = vsm if vsm is not None else VectorSpaceModel(corpus)
         self._lm: Optional[LanguageModelScorer] = None
         if mode is ScoringMode.LANGUAGE_MODEL:
             self._lm = LanguageModelScorer(corpus, smoothing=language_model_smoothing)

@@ -1,0 +1,127 @@
+"""The ``python -m repro`` CLI: build / info / query / serve-batch round trips.
+
+The commands are exercised in-process through :func:`repro.cli.main` (same code
+path as ``python -m repro``, minus the interpreter spawn), asserting both the
+exit codes and the observable artifact side effects.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.service.persist import FORMAT_VERSION, read_manifest
+
+BUILD_ARGS = [
+    "build", "--dataset", "ny", "--rows", "12", "--cols", "12",
+    "--objects", "220", "--clusters", "5", "--seed", "3",
+]
+
+
+@pytest.fixture(scope="module")
+def cli_artifact(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "artifact"
+    assert main(BUILD_ARGS + ["--out", str(path)]) == 0
+    return path
+
+
+class TestBuild:
+    def test_build_writes_a_valid_artifact(self, cli_artifact, capsys):
+        manifest = read_manifest(cli_artifact)
+        assert manifest.format_version == FORMAT_VERSION
+        assert manifest.stats["num_objects"] == 220
+
+    def test_build_refuses_overwrite_without_force(self, cli_artifact, capsys):
+        assert main(BUILD_ARGS + ["--out", str(cli_artifact)]) == 2
+        assert "already exists" in capsys.readouterr().err
+        assert main(BUILD_ARGS + ["--out", str(cli_artifact), "--force"]) == 0
+
+
+class TestInfo:
+    def test_info_prints_manifest_fields(self, cli_artifact, capsys):
+        assert main(["info", str(cli_artifact), "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "format version : 1" in out
+        assert "fingerprint" in out
+        assert "verified ok" in out
+
+    def test_info_json_is_machine_readable(self, cli_artifact, capsys):
+        assert main(["info", str(cli_artifact), "--json"]) == 0
+        raw = json.loads(capsys.readouterr().out)
+        assert raw["format_version"] == FORMAT_VERSION
+        assert set(raw["checksums"]) == {"network.npz", "index.pkl", "vocabulary.json"}
+
+    def test_info_on_missing_artifact_fails_cleanly(self, tmp_path, capsys):
+        assert main(["info", str(tmp_path / "missing")]) == 2
+        assert "manifest" in capsys.readouterr().err
+
+
+class TestQuery:
+    @pytest.mark.parametrize("algorithm", ["app", "tgen", "greedy"])
+    def test_query_every_heuristic(self, cli_artifact, capsys, algorithm):
+        assert main([
+            "query", str(cli_artifact), "--keywords", "cafe,restaurant",
+            "--delta", "700", "--algorithm", algorithm,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "weight" in out and "length" in out
+
+    def test_query_exact_on_a_small_window(self, cli_artifact, capsys):
+        assert main([
+            "query", str(cli_artifact), "--keywords", "cafe",
+            "--delta", "500", "--region", "100,100,430,430", "--algorithm", "exact",
+        ]) == 0
+        assert "Exact" in capsys.readouterr().out
+
+    def test_query_topk(self, cli_artifact, capsys):
+        assert main([
+            "query", str(cli_artifact), "--keywords", "cafe",
+            "--delta", "600", "-k", "3",
+        ]) == 0
+        assert "#1:" in capsys.readouterr().out
+
+    def test_malformed_region_fails_cleanly(self, cli_artifact, capsys):
+        assert main([
+            "query", str(cli_artifact), "--keywords", "cafe",
+            "--delta", "500", "--region", "1,2,3",
+        ]) == 2
+        assert "region" in capsys.readouterr().err
+
+
+class TestServeBatch:
+    def test_synthesized_batch(self, cli_artifact, capsys):
+        assert main([
+            "serve-batch", str(cli_artifact), "--synthesize", "6",
+            "--delta", "700", "--workers", "2", "--repeat", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "served 6 request(s) x2" in out
+        assert "result-cache hit rate" in out
+
+    def test_jsonl_requests(self, cli_artifact, tmp_path, capsys):
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(
+            json.dumps({"keywords": ["cafe"], "delta": 600.0}) + "\n"
+            + json.dumps({"keywords": ["bar"], "delta": 700.0, "algorithm": "greedy"}) + "\n"
+        )
+        assert main([
+            "serve-batch", str(cli_artifact), "--requests", str(requests),
+            "--workers", "2",
+        ]) == 0
+        assert "served 2 request(s)" in capsys.readouterr().out
+
+    def test_non_positive_repeat_and_synthesize_fail_cleanly(self, cli_artifact, capsys):
+        assert main(["serve-batch", str(cli_artifact), "--repeat", "0"]) == 2
+        assert "--repeat" in capsys.readouterr().err
+        assert main(["serve-batch", str(cli_artifact), "--synthesize", "0"]) == 2
+        assert "--synthesize" in capsys.readouterr().err
+
+    def test_malformed_jsonl_fails_cleanly(self, cli_artifact, tmp_path, capsys):
+        requests = tmp_path / "bad.jsonl"
+        requests.write_text(json.dumps({"keywords": ["cafe"]}) + "\n")  # no delta
+        assert main([
+            "serve-batch", str(cli_artifact), "--requests", str(requests),
+        ]) == 2
+        assert "line 1" in capsys.readouterr().err
