@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test docs-check bench-service bench bench-smoke artifact-smoke
+.PHONY: test docs-check bench-service bench bench-smoke bench-json artifact-smoke
 
 # Tier-1 suite (includes the docs link/section check).
 test:
@@ -27,6 +27,13 @@ bench:
 bench-smoke:
 	REPRO_BENCH_SMOKE=1 timeout 1200 $(PYTHON) -m pytest benchmarks/ -q \
 		-o python_files="bench_*.py"
+
+# Record the scoring-pipeline perf numbers as JSON (columnar vs scalar instance
+# build, see benchmarks/bench_scoring.py) so the repo's performance trajectory
+# is captured run over run. Runs at the default benchmark scale.
+bench-json:
+	REPRO_BENCH_JSON=BENCH_scoring.json $(PYTHON) -m pytest \
+		benchmarks/bench_scoring.py -q -s -o python_files="bench_*.py"
 
 # End-to-end artifact gate through the CLI: build a small artifact, verify and
 # reload it, and answer one query per solver (exact gets a small window so its

@@ -20,6 +20,7 @@ from repro.index.grid import GridIndex
 from repro.network.compact import GraphView
 from repro.network.subgraph import Rectangle, induced_subgraph
 from repro.objects.mapping import NodeObjectMap
+from repro.textindex.columnar import WeightPipeline
 from repro.textindex.relevance import RelevanceScorer
 
 
@@ -97,16 +98,21 @@ def build_instance(
     mapping: Optional[NodeObjectMap] = None,
     scorer: Optional[RelevanceScorer] = None,
     node_weights: Optional[Mapping[int, float]] = None,
+    pipeline: Optional[WeightPipeline] = None,
 ) -> ProblemInstance:
     """Build the solver input for ``query`` over ``network``.
 
     Exactly one source of node weights must be provided:
 
-    * ``grid_index`` + ``mapping`` — the paper's indexing path: the grid scores the
-      relevant objects inside ``Q.Λ`` via its inverted lists and the scores are
-      aggregated per mapped node; or
+    * ``pipeline`` — the columnar hot path: σ_v computed with vectorised array
+      kernels over the frozen :class:`~repro.textindex.columnar.ColumnarScoringIndex`
+      (bit-identical to the ``scorer`` reference backend); or
+    * ``grid_index`` + ``mapping`` — the paper's per-cell indexing path: the grid
+      scores the relevant objects inside ``Q.Λ`` via its inverted lists and the
+      scores are aggregated per mapped node; or
     * ``scorer`` — score objects directly through a :class:`RelevanceScorer`
-      (bypasses the spatial index; used for correctness cross-checks); or
+      (bypasses the spatial index; the reference backend for correctness
+      cross-checks); or
     * ``node_weights`` — explicit per-node weights (unit tests, Figure 2 example,
       rating-based scoring computed by the caller).
 
@@ -118,12 +124,13 @@ def build_instance(
     """
     sources = sum(
         1
-        for source in ((grid_index, mapping), scorer, node_weights)
+        for source in ((grid_index, mapping), scorer, node_weights, pipeline)
         if (source[0] is not None if isinstance(source, tuple) else source is not None)
     )
     if sources != 1:
         raise QueryError(
-            "exactly one of (grid_index + mapping), scorer, or node_weights must be provided"
+            "exactly one of pipeline, (grid_index + mapping), scorer, or "
+            "node_weights must be provided"
         )
     if (grid_index is None) != (mapping is None):
         raise QueryError("grid_index and mapping must be provided together")
@@ -137,9 +144,21 @@ def build_instance(
         # it per instance was pure overhead (and pinned one full copy per cached
         # instance in the serving layer).
         window_graph = network
-    window_nodes = set(window_graph.node_ids())
 
     weights: Dict[int, float]
+    if pipeline is not None:
+        # The pipeline restricts nodes to the window with one vectorised
+        # coordinate comparison (a mapped node lies in the window graph exactly
+        # when its coordinates lie in Q.Λ) — no per-query node-id set needed.
+        weights = pipeline.node_weights(
+            query.keywords, window=query.region, node_window=query.region
+        )
+        build_seconds = time.perf_counter() - start
+        return ProblemInstance(
+            graph=window_graph, weights=weights, query=query, build_seconds=build_seconds
+        )
+
+    window_nodes = set(window_graph.node_ids())
     if node_weights is not None:
         weights = {
             node_id: float(weight)
@@ -147,8 +166,16 @@ def build_instance(
             if node_id in window_nodes and weight > 0
         }
     elif scorer is not None:
+        # The scorer source explicitly means the object-loop reference backend:
+        # callers wanting the vectorised path pass `pipeline` instead. Without
+        # the pin, a scorer with an attached columnar index would silently
+        # dispatch to the pipeline and every cross-check against it would
+        # compare the pipeline with itself.
         weights = scorer.node_weights(
-            query.keywords, candidate_nodes=window_nodes, window=query.region
+            query.keywords,
+            candidate_nodes=window_nodes,
+            window=query.region,
+            backend="reference",
         )
     else:
         assert grid_index is not None and mapping is not None

@@ -7,6 +7,7 @@ from typing import Iterable, Optional, Tuple
 
 from repro.exceptions import QueryError
 from repro.network.subgraph import Rectangle
+from repro.textindex.tokenizer import normalize_keyword_set
 
 
 @dataclass(frozen=True)
@@ -14,8 +15,10 @@ class LCMSRQuery:
     """A length-constrained maximum-sum region query ``Q = <ψ, ∆, Λ>``.
 
     Attributes:
-        keywords: The query keyword set ``Q.ψ`` (lower-cased, de-duplicated, order
-            preserved).
+        keywords: The query keyword set ``Q.ψ``. Normalised at construction —
+            stripped, lower-cased, de-duplicated, order preserved — whichever
+            constructor path is used, so scorers, cache keys and the columnar
+            weight pipeline never re-normalise per call.
         delta: The length constraint ``Q.∆``: the maximum total road-segment length of
             the returned region, in the same units as edge lengths (meters for the
             bundled datasets).
@@ -32,6 +35,12 @@ class LCMSRQuery:
     k: int = 1
 
     def __post_init__(self) -> None:
+        # Normalise ONCE, at construction: every downstream consumer (scorers,
+        # the columnar weight pipeline, cache keys) trusts query keywords to be
+        # stripped, lower-cased and de-duplicated already.
+        normalised = normalize_keyword_set(self.keywords)
+        if normalised != tuple(self.keywords) or not isinstance(self.keywords, tuple):
+            object.__setattr__(self, "keywords", normalised)
         if not self.keywords:
             raise QueryError("an LCMSR query needs at least one keyword")
         if self.delta < 0:
@@ -46,9 +55,8 @@ class LCMSRQuery:
         region: Optional[Rectangle] = None,
         k: int = 1,
     ) -> "LCMSRQuery":
-        """Build a query from any keyword iterable (normalising and de-duplicating)."""
-        normalised = tuple(dict.fromkeys(k.strip().lower() for k in keywords if k.strip()))
-        return LCMSRQuery(keywords=normalised, delta=float(delta), region=region, k=k)
+        """Build a query from any keyword iterable (``__post_init__`` normalises)."""
+        return LCMSRQuery(keywords=tuple(keywords), delta=float(delta), region=region, k=k)
 
     @property
     def keyword_count(self) -> int:

@@ -274,7 +274,11 @@ class LCMSREngine:
 
         The window subgraph is extracted from the bundle's frozen CSR snapshot
         when one exists — the vectorised path — and from the dict-backed network
-        otherwise. Either way the instance carries a read-only graph view.
+        otherwise. Node weights σ_v come from the bundle's columnar
+        :class:`~repro.textindex.columnar.WeightPipeline` (vectorised, all
+        scoring modes) when available; otherwise from the grid postings
+        (``TEXT_RELEVANCE``) or the object-loop scorer (the other modes) —
+        the pipeline is bit-identical to the scorer reference backend.
 
         Args:
             query: The LCMSR query to derive the instance from.
@@ -283,6 +287,9 @@ class LCMSREngine:
             The windowed, weighted :class:`~repro.core.instance.ProblemInstance`.
         """
         graph = self._bundle.graph_view()
+        pipeline = self._bundle.weight_pipeline()
+        if pipeline is not None:
+            return build_instance(graph, query, pipeline=pipeline)
         if self.scoring_mode is ScoringMode.TEXT_RELEVANCE:
             return build_instance(
                 graph, query, grid_index=self.grid, mapping=self.mapping

@@ -73,9 +73,17 @@ class ExperimentRunner:
 
     Args:
         dataset: The dataset to query.
-        use_grid_index: When ``True`` (default) node weights come from the grid +
-            inverted-list index, exactly as in the paper; when ``False`` the direct
-            scorer is used (useful for cross-checking the index).
+        use_grid_index: When ``True`` (default) node weights come from the indexed
+            hot path; when ``False`` the direct object-loop scorer is used
+            (useful for cross-checking the index).
+        weight_backend: Which σ_v implementation instance builds use.
+            ``None`` (default) resolves to ``"columnar"`` when the bundle carries
+            a columnar pipeline, else to the legacy resolution through
+            ``use_grid_index``. Explicit values: ``"columnar"`` (vectorised
+            pipeline, required present), ``"grid"`` (per-cell postings walk, the
+            scalar indexed path), ``"scorer"`` (object-loop reference). The
+            columnar and scorer backends produce bit-identical weights; the
+            grid backend agrees up to float summation order.
         artifact_cache_dir: Optional directory of persisted index artifacts (see
             :mod:`repro.service.persist`). When given, the runner keys the
             dataset by content fingerprint and publishes (or reuses) one on-disk
@@ -92,8 +100,10 @@ class ExperimentRunner:
         dataset: SyntheticDataset,
         use_grid_index: bool = True,
         artifact_cache_dir: Optional[Union[str, Path]] = None,
+        weight_backend: Optional[str] = None,
     ) -> None:
         self._use_grid_index = use_grid_index
+        self._weight_backend = weight_backend
         if artifact_cache_dir is not None:
             from repro.service.persist import cached_dataset_bundle
 
@@ -108,22 +118,40 @@ class ExperimentRunner:
     def _attach(self, bundle: IndexBundle) -> None:
         self._bundle = bundle
         self._graph = bundle.graph_view()
+        backend = self._weight_backend
+        if backend is None:
+            if not self._use_grid_index:
+                backend = "scorer"  # explicit index-free cross-check request
+            elif bundle.weight_pipeline() is not None:
+                backend = "columnar"
+            else:
+                backend = "grid"
+        if backend not in ("columnar", "grid", "scorer"):
+            raise ValueError(f"unknown weight backend {backend!r}")
+        if backend == "columnar" and bundle.weight_pipeline() is None:
+            raise ValueError("the bundle carries no columnar weight pipeline")
+        self._resolved_backend = backend
 
     @classmethod
     def from_bundle(
-        cls, bundle: IndexBundle, use_grid_index: bool = True
+        cls,
+        bundle: IndexBundle,
+        use_grid_index: bool = True,
+        weight_backend: Optional[str] = None,
     ) -> "ExperimentRunner":
         """Create a runner over an existing bundle (e.g. one loaded from an artifact).
 
         Args:
             bundle: The prebuilt (or artifact-loaded) index state.
             use_grid_index: As in the constructor.
+            weight_backend: As in the constructor.
 
         Returns:
             A runner that shares the bundle's indexes without any build work.
         """
         runner = cls.__new__(cls)
         runner._use_grid_index = use_grid_index
+        runner._weight_backend = weight_backend
         runner._attach(bundle)
         return runner
 
@@ -132,9 +160,18 @@ class ExperimentRunner:
         """The index state the runner executes against."""
         return self._bundle
 
+    @property
+    def weight_backend(self) -> str:
+        """The resolved σ_v backend instance builds use."""
+        return self._resolved_backend
+
     def build(self, query: LCMSRQuery) -> ProblemInstance:
         """Build the solver input for one query."""
-        if self._use_grid_index:
+        if self._resolved_backend == "columnar":
+            return build_instance(
+                self._graph, query, pipeline=self._bundle.weight_pipeline()
+            )
+        if self._resolved_backend == "grid":
             return build_instance(
                 self._graph,
                 query,

@@ -26,6 +26,11 @@ class ObjectCorpus:
     def __init__(self, objects: Optional[Iterable[GeoTextualObject]] = None) -> None:
         self._objects: Dict[int, GeoTextualObject] = {}
         self._document_frequency: Dict[str, int] = defaultdict(int)
+        # Collection term counts (Σ tf per term) are consumed by every
+        # language-model scorer construction and by the columnar index build;
+        # they are computed lazily once and invalidated by add().
+        self._collection_counts: Optional[Dict[str, int]] = None
+        self._collection_total = 0
         if objects is not None:
             for obj in objects:
                 self.add(obj)
@@ -38,6 +43,7 @@ class ObjectCorpus:
         self._objects[obj.object_id] = obj
         for term in obj.keywords:
             self._document_frequency[term] += 1
+        self._collection_counts = None  # invalidate the cached collection counts
 
     def add_all(self, objects: Iterable[GeoTextualObject]) -> None:
         """Add every object from ``objects``."""
@@ -86,6 +92,32 @@ class ObjectCorpus:
     def term_frequencies(self) -> Dict[str, int]:
         """Return a copy of the document-frequency table."""
         return dict(self._document_frequency)
+
+    def _ensure_collection_counts(self) -> Dict[str, int]:
+        counts = self._collection_counts
+        if counts is None:
+            counts = {}
+            total = 0
+            for obj in self._objects.values():
+                for term, freq in obj.keywords.items():
+                    counts[term] = counts.get(term, 0) + freq
+                    total += freq
+            self._collection_counts = counts
+            self._collection_total = total
+        return counts
+
+    def collection_term_counts(self) -> Dict[str, int]:
+        """Return Σ tf per term over the whole corpus (the LM collection model).
+
+        Computed once and cached; :meth:`add` invalidates the cache. Callers must
+        treat the returned mapping as read-only (it IS the cache).
+        """
+        return self._ensure_collection_counts()
+
+    def collection_total_terms(self) -> int:
+        """Return the total number of term occurrences in the corpus (Σ_t Σ_o tf)."""
+        self._ensure_collection_counts()
+        return self._collection_total
 
     def most_frequent_terms(self, count: int) -> List[Tuple[str, int]]:
         """Return the ``count`` terms with the highest document frequency."""

@@ -30,6 +30,7 @@ from repro.network.compact import CompactNetwork, GraphView
 from repro.network.graph import RoadNetwork
 from repro.objects.corpus import ObjectCorpus
 from repro.objects.mapping import NodeObjectMap, map_objects_to_network
+from repro.textindex.columnar import ColumnarScoringIndex, WeightPipeline
 from repro.textindex.relevance import RelevanceScorer, ScoringMode
 from repro.textindex.vector_space import VectorSpaceModel
 
@@ -65,6 +66,13 @@ class IndexBundle:
             window extraction runs on this snapshot, not on the dict-backed
             graph. ``None`` only when the bundle was built with
             ``freeze_network=False`` (benchmark comparisons, legacy callers).
+        columnar: The frozen columnar scoring index
+            (:class:`~repro.textindex.columnar.ColumnarScoringIndex`) — CSR
+            term → object postings plus object/node tables — built once here
+            and used by every query to compute σ_v with vectorised array
+            kernels (:meth:`weight_pipeline`). ``None`` only for legacy
+            construction paths that skip it; queries then fall back to the
+            grid-postings / object-loop paths.
     """
 
     network: Optional[RoadNetwork]
@@ -77,6 +85,7 @@ class IndexBundle:
     grid_resolution: int
     build_seconds: Dict[str, float]
     compact: Optional[CompactNetwork] = None
+    columnar: Optional[ColumnarScoringIndex] = None
 
     @classmethod
     def build(
@@ -129,10 +138,19 @@ class IndexBundle:
         timings["grid"] = time.perf_counter() - start
 
         start = time.perf_counter()
+        # Freeze the corpus + mapping into the columnar scoring index once: the
+        # per-query σ_v computation then runs as vectorised array kernels.
+        columnar = ColumnarScoringIndex.build(corpus, mapping, network.coords, vsm=vsm)
+        vsm.attach_columnar(columnar)
+        timings["columnar"] = time.perf_counter() - start
+
+        start = time.perf_counter()
         # Share the bundle's VSM instead of letting the scorer build an identical
         # second model: halves the text-model build time and, when the bundle is
         # persisted, stores the model once instead of twice.
-        scorer = RelevanceScorer(corpus, mapping, mode=scoring_mode, vsm=vsm)
+        scorer = RelevanceScorer(
+            corpus, mapping, mode=scoring_mode, vsm=vsm, columnar=columnar
+        )
         timings["scorer"] = time.perf_counter() - start
 
         compact: Optional[CompactNetwork] = None
@@ -153,6 +171,7 @@ class IndexBundle:
             scoring_mode=scoring_mode,
             grid_resolution=grid_resolution,
             build_seconds=timings,
+            columnar=columnar,
         )
 
     @classmethod
@@ -181,23 +200,38 @@ class IndexBundle:
         Returns:
             A bundle sharing the dataset's index structures.
         """
+        timings: Dict[str, float] = {}
         start = time.perf_counter()
         if freeze_network and compact is None:
             compact = CompactNetwork.from_network(dataset.network)
         elif not freeze_network:
             compact = None
-        elapsed = time.perf_counter() - start
+        timings["freeze"] = time.perf_counter() - start
+
+        vsm = dataset.grid.vector_space_model
+        scorer = dataset.scorer
+        start = time.perf_counter()
+        columnar = scorer.columnar
+        if columnar is None:
+            columnar = ColumnarScoringIndex.build(
+                dataset.corpus, dataset.mapping, dataset.network.coords, vsm=vsm
+            )
+            scorer.attach_columnar(columnar)
+        vsm.attach_columnar(columnar)
+        timings["columnar"] = time.perf_counter() - start
+        timings["total"] = timings["freeze"] + timings["columnar"]
         return cls(
             network=dataset.network,
             corpus=dataset.corpus,
             mapping=dataset.mapping,
-            vsm=dataset.grid.vector_space_model,
+            vsm=vsm,
             grid=dataset.grid,
-            scorer=dataset.scorer,
-            scoring_mode=dataset.scorer.mode,
+            scorer=scorer,
+            scoring_mode=scorer.mode,
             grid_resolution=dataset.grid.resolution,
-            build_seconds={"freeze": elapsed, "total": elapsed},
+            build_seconds=timings,
             compact=compact,
+            columnar=columnar,
         )
 
     # ------------------------------------------------------------------ persistence
@@ -263,6 +297,16 @@ class IndexBundle:
             if self.network is None:
                 object.__setattr__(self, "network", thawed)
         return self.network
+
+    def weight_pipeline(self) -> Optional[WeightPipeline]:
+        """The vectorised σ_v pipeline queries should take, or ``None``.
+
+        The pipeline lives on the scorer (which owns the smoothing-compatibility
+        check for language-model bundles); it is ``None`` when the bundle has no
+        columnar index or the scorer's LM smoothing differs from the index's
+        precomputed columns — queries then fall back to the scalar paths.
+        """
+        return self.scorer.pipeline
 
     def graph_view(self) -> GraphView:
         """The network representation the query hot path should traverse.

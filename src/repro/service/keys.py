@@ -25,6 +25,7 @@ from typing import Iterable, Optional, Tuple
 
 from repro.network.subgraph import Rectangle
 from repro.textindex.relevance import ScoringMode
+from repro.textindex.tokenizer import normalize_keyword_set
 
 RegionTupleKey = Tuple[float, float, float, float]
 
@@ -32,13 +33,18 @@ RegionTupleKey = Tuple[float, float, float, float]
 def normalize_keywords(keywords: Iterable[str]) -> Tuple[str, ...]:
     """Lower-case, strip, de-duplicate and sort a keyword iterable.
 
+    On the serving path the input is already normalised — the keywords come
+    from an :class:`~repro.core.query.LCMSRQuery`, which normalises at
+    construction — so this reduces to the canonical sort; the full
+    normalisation is kept for raw callers building keys directly.
+
     Args:
-        keywords: Raw keywords as the caller provided them.
+        keywords: Keywords, normalised or raw.
 
     Returns:
         The canonical (sorted) keyword tuple used in cache keys.
     """
-    return tuple(sorted({k.strip().lower() for k in keywords if k.strip()}))
+    return tuple(sorted(normalize_keyword_set(keywords)))
 
 
 def region_key(region: Optional[Rectangle]) -> Optional[RegionTupleKey]:

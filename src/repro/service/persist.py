@@ -16,13 +16,21 @@ Artifact layout (one directory per artifact)::
         network.npz       the CompactNetwork CSR arrays (ids, xs, ys, indptr,
                           indices, lengths), stored uncompressed and loaded back
                           as read-only memory maps
+        scoring.npz       the ColumnarScoringIndex columns (CSR term → object
+                          postings with TF-IDF / raw-tf / LM log-probability
+                          value columns, the object table, the node table and
+                          the CSR node → object map), stored uncompressed and
+                          loaded back as read-only memory maps — the σ_v hot
+                          path is query-ready without materialising anything
         index.pkl         the derived index structures — object corpus, node ↔
                           object mapping, vector-space model, grid cells +
                           inverted lists, relevance-scorer config — pickled as
                           ONE object graph so shared substructures (the corpus,
-                          the VSM) are stored and restored exactly once
-        vocabulary.json   the sorted corpus term list (cheap metadata for tools
-                          that don't want to unpickle the corpus)
+                          the VSM) are stored and restored exactly once (the
+                          columnar arrays are deliberately NOT in this pickle;
+                          they live in scoring.npz and are re-attached on load)
+        vocabulary.json   the sorted corpus term list; doubles as the columnar
+                          index's term-id table (term id = list position)
 
 Design notes:
 
@@ -63,15 +71,27 @@ import numpy as np
 from repro.exceptions import ArtifactError
 from repro.network.compact import CompactNetwork, GraphView
 from repro.objects.corpus import ObjectCorpus
+from repro.textindex.columnar import (
+    ARRAY_FIELDS as _SCORING_FIELDS,
+    DEFAULT_LM_SMOOTHING,
+    ColumnarScoringIndex,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (bundle imports persist)
     from repro.service.bundle import IndexBundle
 
-FORMAT_VERSION = 1
-"""Current on-disk artifact format version (see the module docstring)."""
+FORMAT_VERSION = 2
+"""Current on-disk artifact format version (see the module docstring).
+
+Version history: 1 — network.npz + index.pkl + vocabulary.json; 2 — adds
+scoring.npz (the columnar scoring index) and the manifest's ``lm_smoothing``
+field. Loaders accept exactly the current version (no silent migration); version
+1 artifacts must be rebuilt with ``python -m repro build``.
+"""
 
 MANIFEST_NAME = "manifest.json"
 NETWORK_NAME = "network.npz"
+SCORING_NAME = "scoring.npz"
 INDEX_NAME = "index.pkl"
 VOCABULARY_NAME = "vocabulary.json"
 
@@ -96,7 +116,10 @@ class ArtifactManifest:
         grid_resolution: Grid cells per axis the spatial index was built with.
         scoring_mode: The bundle's :class:`~repro.textindex.relevance.ScoringMode`
             value.
-        stats: Headline counts (nodes, edges, objects, vocabulary size).
+        lm_smoothing: The Jelinek–Mercer λ the columnar language-model columns
+            were precomputed with.
+        stats: Headline counts (nodes, edges, objects, vocabulary size,
+            postings, mapped nodes).
         checksums: ``file name → sha256 hex digest`` for every payload file.
     """
 
@@ -104,6 +127,7 @@ class ArtifactManifest:
     fingerprint: str
     grid_resolution: int
     scoring_mode: str
+    lm_smoothing: float = DEFAULT_LM_SMOOTHING
     stats: Dict[str, int] = field(default_factory=dict)
     checksums: Dict[str, str] = field(default_factory=dict)
 
@@ -121,6 +145,7 @@ class ArtifactManifest:
                 fingerprint=str(raw["fingerprint"]),
                 grid_resolution=int(raw["grid_resolution"]),
                 scoring_mode=str(raw["scoring_mode"]),
+                lm_smoothing=float(raw.get("lm_smoothing", DEFAULT_LM_SMOOTHING)),
                 stats={str(k): int(v) for k, v in raw.get("stats", {}).items()},
                 checksums={str(k): str(v) for k, v in raw.get("checksums", {}).items()},
             )
@@ -335,16 +360,28 @@ def save_bundle(
     arrays = dict(zip(_NETWORK_FIELDS, (ids, xs, ys, indptr, indices, lengths)))
     _write_npz(directory / NETWORK_NAME, arrays)
 
+    # The columnar scoring index persists as raw arrays (mmap-able on load);
+    # bundles from legacy construction paths freeze one on the fly.
+    columnar = bundle.columnar
+    if columnar is None:
+        columnar = ColumnarScoringIndex.build(
+            bundle.corpus, bundle.mapping, compact.coords, vsm=bundle.vsm
+        )
+    _write_npz(directory / SCORING_NAME, columnar.arrays())
+
     # One pickle for the whole derived-index object graph: the corpus and the
     # vector-space model are referenced by the grid and the scorer, and pickling
     # them together stores each shared structure exactly once (and restores the
-    # sharing on load).
+    # sharing on load). The scorer and VSM drop their columnar attachment when
+    # pickled (see their __getstate__), so the columns are stored only once —
+    # in scoring.npz.
     payload = (bundle.corpus, bundle.mapping, bundle.vsm, bundle.grid, bundle.scorer)
     _write_bytes_atomic(
         directory / INDEX_NAME, pickle.dumps(payload, protocol=_PICKLE_PROTOCOL)
     )
 
-    vocabulary = sorted(bundle.corpus.vocabulary())
+    # The sorted term list IS the columnar term-id table (id = position).
+    vocabulary = list(columnar.terms)
     _write_bytes_atomic(
         directory / VOCABULARY_NAME,
         (json.dumps(vocabulary, sort_keys=True, indent=0) + "\n").encode("utf-8"),
@@ -355,15 +392,18 @@ def save_bundle(
         fingerprint=fingerprint or dataset_fingerprint(compact, bundle.corpus),
         grid_resolution=bundle.grid_resolution,
         scoring_mode=bundle.scoring_mode.value,
+        lm_smoothing=columnar.lm_smoothing,
         stats={
             "num_nodes": compact.num_nodes,
             "num_edges": compact.num_edges,
             "num_objects": len(bundle.corpus),
             "vocabulary_size": len(vocabulary),
+            "num_postings": columnar.num_postings,
+            "num_mapped_nodes": columnar.num_nodes,
         },
         checksums={
             name: _sha256_file(directory / name)
-            for name in (NETWORK_NAME, INDEX_NAME, VOCABULARY_NAME)
+            for name in (NETWORK_NAME, SCORING_NAME, INDEX_NAME, VOCABULARY_NAME)
         },
     )
     _write_bytes_atomic(manifest_path, manifest.to_json().encode("utf-8"))
@@ -426,8 +466,15 @@ def load_bundle(
     manifest = verify_artifact(directory) if verify else read_manifest(directory)
 
     network_path = directory / NETWORK_NAME
+    scoring_path = directory / SCORING_NAME
     index_path = directory / INDEX_NAME
-    if not network_path.is_file() or not index_path.is_file():
+    vocabulary_path = directory / VOCABULARY_NAME
+    if (
+        not network_path.is_file()
+        or not scoring_path.is_file()
+        or not index_path.is_file()
+        or not vocabulary_path.is_file()
+    ):
         raise ArtifactError(f"artifact at {directory} is missing payload files")
     try:
         arrays = _mmap_npz(network_path) if mmap else _load_npz_eager(network_path)
@@ -441,9 +488,31 @@ def load_bundle(
     compact = CompactNetwork(*(arrays[name] for name in _NETWORK_FIELDS))
 
     try:
+        scoring_arrays = (
+            _mmap_npz(scoring_path) if mmap else _load_npz_eager(scoring_path)
+        )
+    except ArtifactError:
+        raise
+    except Exception as exc:
+        raise ArtifactError(f"cannot read {SCORING_NAME}: {exc}") from exc
+    missing = [name for name in _SCORING_FIELDS if name not in scoring_arrays]
+    if missing:
+        raise ArtifactError(f"scoring.npz is missing arrays: {missing}")
+    try:
+        terms = json.loads(vocabulary_path.read_text(encoding="utf-8"))
+    except ValueError as exc:
+        raise ArtifactError(f"malformed {VOCABULARY_NAME}: {exc}") from exc
+    columnar = ColumnarScoringIndex.from_arrays(
+        terms, scoring_arrays, lm_smoothing=manifest.lm_smoothing
+    )
+
+    try:
         corpus, mapping, vsm, grid, scorer = pickle.loads(index_path.read_bytes())
     except Exception as exc:  # unpicklable / truncated payload
         raise ArtifactError(f"cannot deserialise {INDEX_NAME}: {exc}") from exc
+    # Re-attach the memmapped columns: the pickle deliberately excludes them.
+    vsm.attach_columnar(columnar)
+    scorer.attach_columnar(columnar)
 
     elapsed = time.perf_counter() - start
     return IndexBundle(
@@ -457,6 +526,7 @@ def load_bundle(
         grid_resolution=manifest.grid_resolution,
         build_seconds={"load": elapsed, "total": elapsed},
         compact=compact,
+        columnar=columnar,
     )
 
 

@@ -206,12 +206,19 @@ class QueryService:
         """
         start = time.perf_counter()
         algorithm = (request.algorithm or self._engine.default_algorithm).lower()
+        # The query normalises its keywords at construction (strip / lower /
+        # de-duplicate) and rejects empty keyword sets; the cache keys are then
+        # built from the already-normalised tuple, so key construction only
+        # sorts — nothing on the serving path re-normalises.
+        query = LCMSRQuery.create(
+            request.keywords, delta=request.delta, region=request.region, k=request.k
+        )
         # The generation must be read BEFORE the solver is resolved: if a
         # concurrent configure_solver lands in between, the old solver's answer
         # gets stored under the old generation (harmless, never served again)
         # instead of the new one (permanently stale).
         key = ResultKey.create(
-            keywords=request.keywords,
+            keywords=query.keywords,
             delta=request.delta,
             region=request.region,
             k=request.k,
@@ -220,8 +227,6 @@ class QueryService:
             solver_generation=self._engine.solver_generation,
         )
         solver = self._engine.solver(request.algorithm)
-        if not key.keywords:
-            raise QueryError("an LCMSR query needs at least one keyword")
 
         cached = self._result_cache.get(key)
         if cached is not None:
@@ -240,9 +245,6 @@ class QueryService:
             )
             return cached
 
-        query = LCMSRQuery.create(
-            request.keywords, delta=request.delta, region=request.region, k=request.k
-        )
         instance, instance_hit, build_seconds = self._instance_for(key.instance_key, query)
 
         if request.k > 1:

@@ -7,14 +7,18 @@ language-model scorer is included as the alternative retrieval model the paper
 mentions (Ponte & Croft), selectable through the same interface.
 """
 
-from repro.textindex.tokenizer import tokenize
+from repro.textindex.tokenizer import tokenize, normalize_keyword_set
 from repro.textindex.vector_space import VectorSpaceModel, QueryVector
+from repro.textindex.columnar import ColumnarScoringIndex, WeightPipeline
 from repro.textindex.relevance import RelevanceScorer, ScoringMode, LanguageModelScorer
 
 __all__ = [
     "tokenize",
+    "normalize_keyword_set",
     "VectorSpaceModel",
     "QueryVector",
+    "ColumnarScoringIndex",
+    "WeightPipeline",
     "RelevanceScorer",
     "ScoringMode",
     "LanguageModelScorer",

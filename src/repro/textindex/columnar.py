@@ -1,0 +1,584 @@
+"""Columnar scoring index: the array-first hot path from query window to σ_v.
+
+The online cost of an LCMSR query is dominated by turning the query into per-node
+weights σ_v: probe the text index for the relevant objects, score each object,
+mask by the query window and aggregate object scores onto road-network nodes. The
+object-loop implementations (:class:`~repro.textindex.relevance.RelevanceScorer`,
+the grid's per-cell postings walk) pay Python dict and attribute traffic per
+object; this module stores the same information as flat numpy columns so the whole
+path runs as a handful of vectorised kernels:
+
+* **CSR term → object postings** — ``post_indptr`` / ``post_rows`` (int32) with
+  parallel value columns: the precomputed normalised TF-IDF weight ``wto(t)``
+  (float64), the raw term frequency (float32 — term frequencies are small
+  integers, exactly representable), and the precomputed language-model
+  log-probability ``ln((1-λ)·P(t|o) + λ·P(t|C))`` (float64).
+* **Object table** — ``object_ids``, ``obj_x`` / ``obj_y``, ``obj_rating`` and
+  ``obj_node_pos`` (the object's node as a dense position into the node table),
+  all parallel arrays in corpus iteration order.
+* **Node table + CSR node → object map** — the mapped node ids (in
+  :class:`~repro.objects.mapping.NodeObjectMap` iteration order), their
+  coordinates, and ``node_indptr`` / ``node_rows`` giving each node's object rows.
+
+**Exact parity contract.** :class:`WeightPipeline` reproduces the object-loop
+reference backend (:meth:`RelevanceScorer.node_weights
+<repro.textindex.relevance.RelevanceScorer.node_weights>` with
+``backend="reference"``) *bit for bit*, including the iteration order of the
+returned weight dict, for all three scoring modes. That is why the score-bearing
+value columns are float64 rather than float32: the reference path computes in
+float64, and a float32 round trip would perturb low-order bits and break the
+byte-identical solver results the refactor guarantees. The vectorised kernels are
+arranged to replay the reference accumulation order exactly — per-object
+contributions are added term by term in query order, and per-node sums are
+accumulated in object-row (= corpus) order, which is precisely the order the
+reference loop uses. (Term frequencies are integral, so the raw-tf column alone
+stays float32 without any loss.)
+
+The index is frozen after construction (treat every array as read-only — loaded
+artifacts hand out read-only memory maps) and picklable. Like the vector-space
+model it snapshots the corpus at build time: mutating the corpus afterwards makes
+the index stale.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import IndexError_
+from repro.network.subgraph import Rectangle
+from repro.objects.corpus import ObjectCorpus
+from repro.objects.mapping import NodeObjectMap
+from repro.textindex.vector_space import VectorSpaceModel, idf_weight
+
+DEFAULT_LM_SMOOTHING = 0.2
+"""Smoothing λ the language-model columns are precomputed with by default."""
+
+
+class ColumnarScoringIndex:
+    """Frozen columnar layout of the corpus + mapping for vectorised scoring.
+
+    Instances are built once per dataset — :meth:`build` — or reconstructed from
+    persisted arrays — :meth:`from_arrays` — and never mutated afterwards.
+
+    Attributes (all numpy arrays; treat as read-only):
+        terms: Sorted tuple of the corpus vocabulary; the term id *is* the
+            position in this tuple.
+        post_indptr / post_rows: CSR postings — term id → object rows (ascending
+            within each term).
+        post_tfidf: Normalised TF-IDF weight ``wto(t)`` per posting (float64).
+        post_tf: Raw term frequency per posting (float32; integral values).
+        lm_log_mixed: ``ln((1-λ)·P(t|o) + λ·P(t|C))`` per posting (float64).
+        lm_log_base: ``ln(λ·P(t|C))`` per term (float64).
+        lm_smoothing: The λ the language-model columns were computed with.
+        object_ids / obj_x / obj_y / obj_rating: Object table, corpus order.
+        obj_node_pos: Dense node-table position per object (-1 if unmapped).
+        node_ids / node_x / node_y: Mapped-node table, mapping iteration order.
+        node_indptr / node_rows: CSR node → object rows (ascending per node).
+    """
+
+    def __init__(
+        self,
+        terms: Sequence[str],
+        arrays: Mapping[str, np.ndarray],
+        lm_smoothing: float = DEFAULT_LM_SMOOTHING,
+    ) -> None:
+        self.terms: Tuple[str, ...] = tuple(terms)
+        self.lm_smoothing = float(lm_smoothing)
+        for name in ARRAY_FIELDS:
+            if name not in arrays:
+                raise IndexError_(f"columnar index is missing array {name!r}")
+            setattr(self, name, arrays[name])
+        if len(self.post_indptr) != len(self.terms) + 1:
+            raise IndexError_(
+                f"postings indptr length {len(self.post_indptr)} does not match "
+                f"{len(self.terms)} terms"
+            )
+        if len(self.node_indptr) != len(self.node_ids) + 1:
+            raise IndexError_("node map indptr length does not match the node table")
+        self._term_ids: Dict[str, int] = {t: i for i, t in enumerate(self.terms)}
+        self._object_rows: Optional[Dict[int, int]] = None
+
+    # ------------------------------------------------------------------ build
+    @classmethod
+    def build(
+        cls,
+        corpus: ObjectCorpus,
+        mapping: NodeObjectMap,
+        node_coords,
+        vsm: Optional[VectorSpaceModel] = None,
+        lm_smoothing: float = DEFAULT_LM_SMOOTHING,
+    ) -> "ColumnarScoringIndex":
+        """Freeze ``corpus`` + ``mapping`` into the columnar layout.
+
+        Args:
+            corpus: The dataset's objects (rows follow its iteration order).
+            mapping: Object → node assignment; nodes keep its iteration order.
+            node_coords: ``node_id → (x, y)`` callable for the mapped nodes —
+                typically ``GraphView.coords`` of the indexed network.
+            vsm: Optional prebuilt vector-space model (built here if omitted);
+                supplies the precomputed ``wto(t)`` postings weights.
+            lm_smoothing: λ for the precomputed language-model columns.
+
+        Raises:
+            IndexError_: If the mapping references objects absent from the corpus
+                or ``lm_smoothing`` is outside (0, 1).
+        """
+        if not 0.0 < lm_smoothing < 1.0:
+            raise IndexError_(f"lm smoothing must be in (0, 1), got {lm_smoothing}")
+        model = vsm if vsm is not None else VectorSpaceModel(corpus)
+
+        objects = list(corpus)
+        num_objects = len(objects)
+        row_of: Dict[int, int] = {
+            obj.object_id: row for row, obj in enumerate(objects)
+        }
+        terms = tuple(sorted(corpus.vocabulary()))
+        term_ids = {t: i for i, t in enumerate(terms)}
+        num_terms = len(terms)
+
+        # --- postings (counting sort by term id; rows ascend within a term) ---
+        counts = np.zeros(num_terms + 1, dtype=np.int64)
+        for obj in objects:
+            for term in obj.keywords:
+                counts[term_ids[term] + 1] += 1
+        post_indptr = np.cumsum(counts, dtype=np.int64)
+        nnz = int(post_indptr[-1])
+        post_rows = np.empty(nnz, dtype=np.int32)
+        post_tfidf = np.empty(nnz, dtype=np.float64)
+        post_tf = np.empty(nnz, dtype=np.float32)
+        lm_log_mixed = np.empty(nnz, dtype=np.float64)
+        lm_log_base = np.zeros(num_terms, dtype=np.float64)
+
+        collection_counts = corpus.collection_term_counts()
+        collection_total = corpus.collection_total_terms()
+        for term, tid in term_ids.items():
+            # Replicates LanguageModelScorer._collection_probability exactly.
+            p_col = (
+                collection_counts.get(term, 0) / collection_total
+                if collection_total
+                else 0.0
+            )
+            base = lm_smoothing * p_col
+            lm_log_base[tid] = math.log(base) if base > 0.0 else 0.0
+
+        cursor = post_indptr[:-1].copy()
+        one_minus = 1.0 - lm_smoothing
+        for row, obj in enumerate(objects):
+            object_total = sum(obj.keywords.values())
+            for term, tf in obj.keywords.items():
+                tid = term_ids[term]
+                slot = cursor[tid]
+                cursor[tid] += 1
+                post_rows[slot] = row
+                post_tfidf[slot] = model.object_term_weight(obj.object_id, term)
+                post_tf[slot] = tf
+                # Same float operations as LanguageModelScorer.score, so the
+                # precomputed logs replay its arithmetic bit for bit.
+                p_doc = tf / object_total if object_total else 0.0
+                p_col = (
+                    collection_counts.get(term, 0) / collection_total
+                    if collection_total
+                    else 0.0
+                )
+                mixed = one_minus * p_doc + lm_smoothing * p_col
+                lm_log_mixed[slot] = math.log(mixed) if mixed > 0.0 else 0.0
+
+        # --- object table ---
+        object_ids = np.fromiter(
+            (obj.object_id for obj in objects), dtype=np.int64, count=num_objects
+        )
+        obj_x = np.fromiter((obj.x for obj in objects), dtype=np.float64, count=num_objects)
+        obj_y = np.fromiter((obj.y for obj in objects), dtype=np.float64, count=num_objects)
+        obj_rating = np.fromiter(
+            (obj.rating for obj in objects), dtype=np.float64, count=num_objects
+        )
+
+        # --- node table + node → object CSR (mapping iteration order) ---
+        node_id_list: List[int] = []
+        node_indptr_list: List[int] = [0]
+        node_row_list: List[int] = []
+        obj_node_pos = np.full(num_objects, -1, dtype=np.int32)
+        for node_id, object_list in mapping.node_to_objects.items():
+            pos = len(node_id_list)
+            node_id_list.append(node_id)
+            for object_id in object_list:
+                row = row_of.get(object_id)
+                if row is None:
+                    raise IndexError_(
+                        f"mapping references object {object_id} absent from the corpus"
+                    )
+                node_row_list.append(row)
+                obj_node_pos[row] = pos
+            node_indptr_list.append(len(node_row_list))
+        node_ids = np.asarray(node_id_list, dtype=np.int64)
+        coords = [node_coords(node_id) for node_id in node_id_list]
+        node_x = np.asarray([c[0] for c in coords], dtype=np.float64)
+        node_y = np.asarray([c[1] for c in coords], dtype=np.float64)
+
+        arrays = {
+            "post_indptr": np.asarray(post_indptr, dtype=np.int32)
+            if nnz <= np.iinfo(np.int32).max
+            else post_indptr,
+            "post_rows": post_rows,
+            "post_tfidf": post_tfidf,
+            "post_tf": post_tf,
+            "lm_log_mixed": lm_log_mixed,
+            "lm_log_base": lm_log_base,
+            "object_ids": object_ids,
+            "obj_x": obj_x,
+            "obj_y": obj_y,
+            "obj_rating": obj_rating,
+            "obj_node_pos": obj_node_pos,
+            "node_ids": node_ids,
+            "node_x": node_x,
+            "node_y": node_y,
+            "node_indptr": np.asarray(node_indptr_list, dtype=np.int32),
+            "node_rows": np.asarray(node_row_list, dtype=np.int32),
+        }
+        return cls(terms, arrays, lm_smoothing=lm_smoothing)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        terms: Sequence[str],
+        arrays: Mapping[str, np.ndarray],
+        lm_smoothing: float,
+    ) -> "ColumnarScoringIndex":
+        """Reconstruct an index from persisted arrays (see :mod:`repro.service.persist`).
+
+        The arrays may be read-only memory maps; the index never writes to them.
+        """
+        return cls(terms, arrays, lm_smoothing=lm_smoothing)
+
+    # ------------------------------------------------------------------ pickling
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        # The row lookup is a per-process cache; memmapped arrays materialise on
+        # pickle, which keeps pickles self-contained.
+        state["_object_rows"] = None
+        return state
+
+    # ------------------------------------------------------------------ shape facts
+    @property
+    def num_terms(self) -> int:
+        """Vocabulary size."""
+        return len(self.terms)
+
+    @property
+    def num_objects(self) -> int:
+        """Number of object rows (= corpus size ``|D|``)."""
+        return len(self.object_ids)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of mapped nodes in the node table."""
+        return len(self.node_ids)
+
+    @property
+    def num_postings(self) -> int:
+        """Total number of (term, object) postings."""
+        return len(self.post_rows)
+
+    def arrays(self) -> Dict[str, np.ndarray]:
+        """Return the array columns keyed by field name (the persistence surface)."""
+        return {name: getattr(self, name) for name in ARRAY_FIELDS}
+
+    # ------------------------------------------------------------------ lookups
+    def term_id(self, term: str) -> Optional[int]:
+        """Return the term's id, or ``None`` if it is not in the vocabulary."""
+        return self._term_ids.get(term)
+
+    def document_frequency(self, term: str) -> int:
+        """Return the number of objects containing ``term`` (``f_t``)."""
+        tid = self._term_ids.get(term)
+        if tid is None:
+            return 0
+        return int(self.post_indptr[tid + 1] - self.post_indptr[tid])
+
+    def postings(self, term: str) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(object_rows, tfidf_weights, raw_tf)`` slices for ``term``."""
+        tid = self._term_ids.get(term)
+        if tid is None:
+            empty = np.empty(0, dtype=np.int32)
+            return empty, np.empty(0, dtype=np.float64), np.empty(0, dtype=np.float32)
+        start, end = int(self.post_indptr[tid]), int(self.post_indptr[tid + 1])
+        return (
+            self.post_rows[start:end],
+            self.post_tfidf[start:end],
+            self.post_tf[start:end],
+        )
+
+    def object_rows_at_node(self, node_pos: int) -> np.ndarray:
+        """Return the object rows mapped to the node at table position ``node_pos``."""
+        start, end = int(self.node_indptr[node_pos]), int(self.node_indptr[node_pos + 1])
+        return self.node_rows[start:end]
+
+    def object_row(self, object_id: int) -> Optional[int]:
+        """Return the table row of ``object_id`` (``None`` if unknown); cached lazily."""
+        rows = self._object_rows
+        if rows is None:
+            rows = {
+                int(object_id): row
+                for row, object_id in enumerate(self.object_ids.tolist())
+            }
+            self._object_rows = rows
+        return rows.get(object_id)
+
+    # ------------------------------------------------------------------ query kernels
+    def query_weights(self, keywords: Sequence[str]) -> Tuple[List[Tuple[int, float]], float]:
+        """Return ``([(term_id, idf_weight)], query_norm)`` for normalised keywords.
+
+        Replicates :meth:`VectorSpaceModel.query_vector
+        <repro.textindex.vector_space.VectorSpaceModel.query_vector>` bit for bit
+        (unknown terms carry weight 0 and are dropped from the id list, but still
+        participate — as zeros — in the norm, exactly as in the reference).
+        """
+        corpus_size = self.num_objects
+        weighted: List[Tuple[int, float]] = []
+        norm_sq = 0.0
+        for term in keywords:
+            tid = self._term_ids.get(term)
+            weight = (
+                idf_weight(corpus_size, self.document_frequency(term))
+                if tid is not None
+                else 0.0
+            )
+            norm_sq += weight * weight
+            if tid is not None and weight > 0.0:
+                weighted.append((tid, weight))
+        norm = math.sqrt(norm_sq)
+        return weighted, (norm if norm > 0 else 1.0)
+
+    def tfidf_object_scores(self, keywords: Sequence[str]) -> np.ndarray:
+        """Return the dense per-object TF-IDF score column σ(o.ψ, Q.ψ) (float64).
+
+        ``keywords`` must already be normalised and de-duplicated (an
+        :class:`~repro.core.query.LCMSRQuery` guarantees this). Each entry is bit
+        identical to :meth:`VectorSpaceModel.score
+        <repro.textindex.vector_space.VectorSpaceModel.score>` for the same
+        object, because contributions are accumulated in query-term order with
+        the same float64 operations.
+        """
+        accumulator = np.zeros(self.num_objects, dtype=np.float64)
+        weighted, norm = self.query_weights(keywords)
+        if not weighted:
+            return accumulator
+        indptr = self.post_indptr
+        for tid, query_weight in weighted:
+            start, end = int(indptr[tid]), int(indptr[tid + 1])
+            if start == end:
+                continue
+            rows = self.post_rows[start:end]
+            accumulator[rows] += query_weight * self.post_tfidf[start:end]
+        np.divide(accumulator, norm, out=accumulator)
+        return accumulator
+
+    def matched_objects(self, keywords: Sequence[str]) -> np.ndarray:
+        """Boolean column: object contains at least one of the (normalised) keywords."""
+        matched = np.zeros(self.num_objects, dtype=bool)
+        indptr = self.post_indptr
+        for term in keywords:
+            tid = self._term_ids.get(term)
+            if tid is None:
+                continue
+            matched[self.post_rows[int(indptr[tid]) : int(indptr[tid + 1])]] = True
+        return matched
+
+    def lm_object_scores(self, keywords: Sequence[str]) -> np.ndarray:
+        """Dense per-object language-model scores (float64), bit-equal to the scalar.
+
+        Replays :meth:`LanguageModelScorer.score
+        <repro.textindex.relevance.LanguageModelScorer.score>`: for every query
+        term present in the collection, each object accrues either the
+        precomputed ``ln(mixed)`` (object contains the term) or ``ln(λ·P(t|C))``
+        (it does not) — the same additions in the same order the scalar loop
+        performs — and the shared background sum is subtracted once at the end.
+        Objects matching no query term land on exactly 0.0.
+        """
+        num_objects = self.num_objects
+        scores = np.zeros(num_objects, dtype=np.float64)
+        valid_tids = [
+            tid
+            for term in keywords
+            if (tid := self._term_ids.get(term)) is not None
+            and self.lm_log_base[tid] != 0.0
+        ]
+        if not valid_tids:
+            return scores
+        background = 0.0
+        indptr = self.post_indptr
+        for tid in valid_tids:
+            log_base = float(self.lm_log_base[tid])
+            column = np.full(num_objects, log_base, dtype=np.float64)
+            start, end = int(indptr[tid]), int(indptr[tid + 1])
+            column[self.post_rows[start:end]] = self.lm_log_mixed[start:end]
+            scores += column
+            background += log_base
+        scores -= background
+        np.maximum(scores, 0.0, out=scores)
+        return scores
+
+
+ARRAY_FIELDS: Tuple[str, ...] = (
+    "post_indptr",
+    "post_rows",
+    "post_tfidf",
+    "post_tf",
+    "lm_log_mixed",
+    "lm_log_base",
+    "object_ids",
+    "obj_x",
+    "obj_y",
+    "obj_rating",
+    "obj_node_pos",
+    "node_ids",
+    "node_x",
+    "node_y",
+    "node_indptr",
+    "node_rows",
+)
+"""Names of the persisted array columns, in canonical order."""
+
+
+class WeightPipeline:
+    """Vectorised query → σ_v computation over a :class:`ColumnarScoringIndex`.
+
+    A pipeline is bound to one scoring mode (the bundle's) at construction; its
+    :meth:`node_weights` is the drop-in replacement for the object-loop scorer on
+    the instance-build hot path and returns bit-identical weights in the same
+    dict order (see the module docstring for why that holds).
+
+    Args:
+        index: The frozen columnar index.
+        mode: The per-object weight definition to compute. Accepts the
+            :class:`~repro.textindex.relevance.ScoringMode` value (imported
+            lazily to avoid an import cycle).
+        lm_smoothing: Required λ when ``mode`` is the language model; must match
+            the smoothing the index columns were precomputed with.
+
+    Raises:
+        IndexError_: If a language-model pipeline is requested with a smoothing
+            different from the index's precomputed columns.
+    """
+
+    def __init__(self, index: ColumnarScoringIndex, mode, lm_smoothing: Optional[float] = None) -> None:
+        from repro.textindex.relevance import ScoringMode  # deferred: cycle guard
+
+        self._index = index
+        self._mode = mode
+        if mode is ScoringMode.LANGUAGE_MODEL:
+            wanted = index.lm_smoothing if lm_smoothing is None else float(lm_smoothing)
+            if wanted != index.lm_smoothing:
+                raise IndexError_(
+                    f"columnar index precomputed language-model columns with "
+                    f"smoothing {index.lm_smoothing}, cannot serve {wanted}"
+                )
+
+    @property
+    def index(self) -> ColumnarScoringIndex:
+        """The underlying columnar index."""
+        return self._index
+
+    @property
+    def mode(self):
+        """The bound scoring mode."""
+        return self._mode
+
+    def object_scores(self, keywords: Sequence[str]) -> np.ndarray:
+        """Dense per-object weight column for the bound mode (no spatial masking)."""
+        from repro.textindex.relevance import ScoringMode  # deferred: cycle guard
+
+        index = self._index
+        if self._mode is ScoringMode.TEXT_RELEVANCE:
+            return index.tfidf_object_scores(keywords)
+        if self._mode is ScoringMode.RATING_IF_MATCH:
+            scores = np.zeros(index.num_objects, dtype=np.float64)
+            matched = index.matched_objects(keywords)
+            scores[matched] = index.obj_rating[matched]
+            return scores
+        return index.lm_object_scores(keywords)
+
+    def node_weights(
+        self,
+        keywords: Iterable[str],
+        window: Optional[Rectangle] = None,
+        candidate_nodes: Optional[Iterable[int]] = None,
+        node_window: Optional[Rectangle] = None,
+    ) -> Dict[int, float]:
+        """Return σ_v for every node carrying a relevant object — as pure array ops.
+
+        Args:
+            keywords: Normalised, de-duplicated query keywords
+            	(:class:`~repro.core.query.LCMSRQuery` normalises at construction).
+            window: Optional ``Q.Λ``. Masks the *objects* by a vectorised
+                coordinate comparison — exactly the reference scorer's ``window``
+                contract (an in-window object mapped to an out-of-window node
+                still contributes to that node).
+            candidate_nodes: Optional explicit node restriction applied on top
+                (the object-loop scorer's ``candidate_nodes`` contract).
+            node_window: Optional rectangle restricting the *nodes* by a
+                vectorised coordinate comparison. The instance builder passes the
+                query window here instead of materialising the window graph's
+                node-id set: a mapped node lies in the window graph exactly when
+                its coordinates lie in ``Q.Λ``.
+
+        Returns:
+            ``node_id → σ_v`` for nodes with positive weight, in the same order
+            the reference scorer produces.
+        """
+        from repro.textindex.relevance import ScoringMode  # deferred: cycle guard
+
+        index = self._index
+        keyword_list = list(keywords)
+        # Select the contributing object rows. TF-IDF and LM scores are
+        # strictly positive exactly for the objects the reference loop scores
+        # positively; rating mode must keep matched zero-rating objects out of
+        # the selection test (they contribute 0.0 on both backends).
+        scores = self.object_scores(keyword_list)
+        if self._mode is ScoringMode.RATING_IF_MATCH:
+            selection = index.matched_objects(keyword_list)
+        else:
+            selection = scores > 0.0
+        selection &= index.obj_node_pos >= 0
+        if window is not None:
+            selection &= (
+                (index.obj_x >= window.min_x)
+                & (index.obj_x <= window.max_x)
+                & (index.obj_y >= window.min_y)
+                & (index.obj_y <= window.max_y)
+            )
+        rows = np.flatnonzero(selection)
+        if rows.size == 0:
+            return {}
+        # Aggregate in ascending row (= corpus) order: within one node this is
+        # exactly the order the reference loop adds object scores, so the sums
+        # are bit-identical. np.bincount applies the adds sequentially.
+        sums = np.bincount(
+            index.obj_node_pos[rows],
+            weights=scores[rows],
+            minlength=index.num_nodes,
+        )
+        keep = sums > 0.0
+        if node_window is not None:
+            keep &= (
+                (index.node_x >= node_window.min_x)
+                & (index.node_x <= node_window.max_x)
+                & (index.node_y >= node_window.min_y)
+                & (index.node_y <= node_window.max_y)
+            )
+        positions = np.flatnonzero(keep)
+        node_ids = index.node_ids
+        weights = {
+            int(node_ids[pos]): float(sums[pos]) for pos in positions
+        }
+        if candidate_nodes is not None:
+            allowed = (
+                candidate_nodes
+                if isinstance(candidate_nodes, (set, frozenset))
+                else set(candidate_nodes)
+            )
+            weights = {n: w for n, w in weights.items() if n in allowed}
+        return weights

@@ -22,6 +22,7 @@ from repro.network.subgraph import Rectangle
 from repro.objects.corpus import ObjectCorpus
 from repro.objects.geoobject import GeoTextualObject
 from repro.objects.mapping import NodeObjectMap
+from repro.textindex.columnar import ColumnarScoringIndex, WeightPipeline
 from repro.textindex.vector_space import VectorSpaceModel
 
 
@@ -57,12 +58,16 @@ class LanguageModelScorer:
             raise ValueError(f"smoothing must be in (0, 1), got {smoothing}")
         self._corpus = corpus
         self._smoothing = smoothing
-        self._collection_counts: Dict[str, int] = {}
-        self._collection_total = 0
-        for obj in corpus:
-            for term, freq in obj.keywords.items():
-                self._collection_counts[term] = self._collection_counts.get(term, 0) + freq
-                self._collection_total += freq
+        # Collection statistics are cached on the corpus (computed once,
+        # invalidated on corpus.add), so constructing a scorer is O(1) instead
+        # of a full corpus scan per construction.
+        self._collection_counts: Mapping[str, int] = corpus.collection_term_counts()
+        self._collection_total = corpus.collection_total_terms()
+
+    @property
+    def smoothing(self) -> float:
+        """The Jelinek–Mercer smoothing parameter λ."""
+        return self._smoothing
 
     def _collection_probability(self, term: str) -> float:
         if self._collection_total == 0:
@@ -70,8 +75,13 @@ class LanguageModelScorer:
         return self._collection_counts.get(term, 0) / self._collection_total
 
     def score(self, obj: GeoTextualObject, keywords: Iterable[str]) -> float:
-        """Return the (shifted, non-negative) query likelihood of ``obj``."""
-        terms = [t.strip().lower() for t in keywords if t.strip()]
+        """Return the (shifted, non-negative) query likelihood of ``obj``.
+
+        ``keywords`` are used as given — :class:`~repro.core.query.LCMSRQuery`
+        normalises (strip / lower-case / de-duplicate) at construction, so the
+        query path never re-normalises per scored object.
+        """
+        terms = list(keywords)
         if not terms:
             return 0.0
         if not obj.contains_any(terms):
@@ -106,6 +116,11 @@ class RelevanceScorer:
         vsm: Optional prebuilt vector-space model over ``corpus``. Passing the
             bundle's shared model avoids building (and, in persisted artifacts,
             serialising) a second identical model; one is built when omitted.
+        columnar: Optional frozen :class:`~repro.textindex.columnar.ColumnarScoringIndex`
+            over the same corpus + mapping. When present, :meth:`node_weights`
+            computes σ_v through the vectorised
+            :class:`~repro.textindex.columnar.WeightPipeline` (bit-identical to
+            the object loop); the loop is kept as the reference backend.
     """
 
     def __init__(
@@ -115,6 +130,7 @@ class RelevanceScorer:
         mode: ScoringMode = ScoringMode.TEXT_RELEVANCE,
         language_model_smoothing: float = 0.2,
         vsm: Optional[VectorSpaceModel] = None,
+        columnar: Optional[ColumnarScoringIndex] = None,
     ) -> None:
         self._corpus = corpus
         self._mapping = mapping
@@ -123,6 +139,10 @@ class RelevanceScorer:
         self._lm: Optional[LanguageModelScorer] = None
         if mode is ScoringMode.LANGUAGE_MODEL:
             self._lm = LanguageModelScorer(corpus, smoothing=language_model_smoothing)
+        self._columnar: Optional[ColumnarScoringIndex] = None
+        self._pipeline: Optional[WeightPipeline] = None
+        if columnar is not None:
+            self.attach_columnar(columnar)
 
     @property
     def mode(self) -> ScoringMode:
@@ -134,13 +154,53 @@ class RelevanceScorer:
         """The underlying vector-space model (always built; used by the index layer)."""
         return self._vsm
 
+    @property
+    def columnar(self) -> Optional[ColumnarScoringIndex]:
+        """The attached columnar index (``None`` when only the loop backend exists)."""
+        return self._columnar
+
+    @property
+    def pipeline(self) -> Optional[WeightPipeline]:
+        """The vectorised weight pipeline (``None`` without a compatible columnar index)."""
+        return self._pipeline
+
+    def attach_columnar(self, columnar: ColumnarScoringIndex) -> None:
+        """Attach a columnar index built over this scorer's corpus + mapping.
+
+        Enables the vectorised fast path of :meth:`node_weights`. A
+        language-model scorer whose smoothing differs from the index's
+        precomputed columns keeps the loop backend (the pipeline would answer a
+        different model).
+        """
+        self._columnar = columnar
+        self._pipeline = None
+        if (
+            self._mode is ScoringMode.LANGUAGE_MODEL
+            and self._lm is not None
+            and self._lm.smoothing != columnar.lm_smoothing
+        ):
+            return
+        self._pipeline = WeightPipeline(columnar, self._mode)
+
+    def __getstate__(self):
+        # The columnar index persists as raw arrays next to the pickle (see
+        # repro.service.persist) and is re-attached on load; pickling it here
+        # would duplicate every column inside index.pkl.
+        state = dict(self.__dict__)
+        state["_columnar"] = None
+        state["_pipeline"] = None
+        return state
+
     def object_score(self, obj: GeoTextualObject, keywords: Iterable[str]) -> float:
-        """Return the weight of one object for the given query keywords."""
+        """Return the weight of one object for the given query keywords.
+
+        ``keywords`` are used as given (queries normalise at construction, see
+        :class:`~repro.core.query.LCMSRQuery`).
+        """
         if self._mode is ScoringMode.TEXT_RELEVANCE:
             return self._vsm.score_keywords(obj, keywords)
         if self._mode is ScoringMode.RATING_IF_MATCH:
-            terms = [t.strip().lower() for t in keywords if t.strip()]
-            return obj.rating if obj.contains_any(terms) else 0.0
+            return obj.rating if obj.contains_any(keywords) else 0.0
         assert self._lm is not None
         return self._lm.score(obj, keywords)
 
@@ -149,22 +209,41 @@ class RelevanceScorer:
         keywords: Iterable[str],
         candidate_nodes: Optional[Iterable[int]] = None,
         window: Optional["Rectangle"] = None,
+        backend: str = "auto",
     ) -> Dict[int, float]:
         """Return σ_v for every node carrying a relevant object.
 
         Args:
-            keywords: Query keywords.
+            keywords: Query keywords (normalised — lower-case, stripped,
+                de-duplicated; :class:`~repro.core.query.LCMSRQuery` guarantees
+                this for every query path).
             candidate_nodes: Optional restriction (e.g. the nodes inside ``Q.Λ``);
                 nodes outside it are skipped.
             window: Optional spatial restriction on the *objects* themselves; when
                 given, only objects located inside it contribute (this matches the
                 grid-index query path, which only reads cells overlapping ``Q.Λ``).
+            backend: ``"auto"`` (vectorised pipeline when a columnar index is
+                attached, the loop otherwise), ``"columnar"`` (require the
+                pipeline) or ``"reference"`` (force the object loop — the
+                backend the parity suite checks the pipeline against).
 
         Returns:
             A mapping from node id to positive weight; nodes with zero weight are
-            omitted (the solvers treat missing nodes as weight 0).
+            omitted (the solvers treat missing nodes as weight 0). Both backends
+            return bit-identical values in identical iteration order.
         """
         keyword_list = list(keywords)
+        if backend not in ("auto", "columnar", "reference"):
+            raise ValueError(f"unknown node-weight backend {backend!r}")
+        if backend != "reference" and self._pipeline is not None:
+            return self._pipeline.node_weights(
+                keyword_list, window=window, candidate_nodes=candidate_nodes
+            )
+        if backend == "columnar":
+            raise ValueError(
+                "no columnar pipeline attached to this scorer "
+                "(build one with ColumnarScoringIndex.build and attach_columnar)"
+            )
         allowed = set(candidate_nodes) if candidate_nodes is not None else None
         weights: Dict[int, float] = {}
         for node_id, object_ids in self._mapping.node_to_objects.items():

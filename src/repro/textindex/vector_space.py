@@ -15,10 +15,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Iterable, Mapping, Optional, Sequence
 
 from repro.objects.corpus import ObjectCorpus
 from repro.objects.geoobject import GeoTextualObject
+from repro.textindex.tokenizer import normalize_keyword_set
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (columnar imports this module)
+    from repro.textindex.columnar import ColumnarScoringIndex
 
 
 def idf_weight(corpus_size: int, document_frequency: int) -> float:
@@ -73,6 +77,9 @@ class VectorSpaceModel:
     def __init__(self, corpus: ObjectCorpus) -> None:
         self._corpus = corpus
         self._corpus_size = corpus.size
+        # Optional columnar acceleration for batch scoring (attached by the
+        # index bundle after the columnar index is built over this model).
+        self._columnar: Optional["ColumnarScoringIndex"] = None
         # Per-object L2 norm W_{o.ψ} over TF weights, and normalised term weights.
         self._object_norms: Dict[int, float] = {}
         self._object_term_weights: Dict[int, Dict[str, float]] = {}
@@ -89,6 +96,22 @@ class VectorSpaceModel:
     def corpus(self) -> ObjectCorpus:
         """The corpus this model was built over."""
         return self._corpus
+
+    def attach_columnar(self, columnar: "ColumnarScoringIndex") -> None:
+        """Attach a columnar index built over the same corpus.
+
+        :meth:`batch_scores` then runs as vectorised array kernels instead of a
+        per-object loop (bit-identical results — the columnar kernels replay
+        this model's accumulation order exactly).
+        """
+        self._columnar = columnar
+
+    def __getstate__(self):
+        # The columnar arrays persist separately (repro.service.persist) and are
+        # re-attached on load; never duplicate them inside this pickle.
+        state = dict(self.__dict__)
+        state["_columnar"] = None
+        return state
 
     @property
     def corpus_size(self) -> int:
@@ -111,7 +134,7 @@ class VectorSpaceModel:
     # ------------------------------------------------------------------ online
     def query_vector(self, keywords: Iterable[str]) -> QueryVector:
         """Build the query-side vector (IDF weights and normaliser) for ``keywords``."""
-        distinct = tuple(dict.fromkeys(k.strip().lower() for k in keywords if k.strip()))
+        distinct = normalize_keyword_set(keywords)
         weights = {
             term: idf_weight(self._corpus_size, self._corpus.document_frequency(term))
             for term in distinct
@@ -144,9 +167,27 @@ class VectorSpaceModel:
     def batch_scores(
         self, objects: Sequence[GeoTextualObject | int], keywords: Iterable[str]
     ) -> Dict[int, float]:
-        """Score many objects against one keyword set; returns only non-zero scores."""
+        """Score many objects against one keyword set; returns only non-zero scores.
+
+        With a columnar index attached (:meth:`attach_columnar`) the whole batch
+        is scored with vectorised kernels; the per-object loop is the reference
+        backend and returns bit-identical values.
+        """
+        if self._columnar is not None:
+            keyword_list = normalize_keyword_set(keywords)
+            column = self._columnar.tfidf_object_scores(keyword_list)
+            scores: Dict[int, float] = {}
+            for obj in objects:
+                object_id = obj.object_id if isinstance(obj, GeoTextualObject) else obj
+                row = self._columnar.object_row(object_id)
+                if row is None:
+                    continue
+                value = float(column[row])
+                if value > 0.0:
+                    scores[object_id] = value
+            return scores
         query = self.query_vector(keywords)
-        scores: Dict[int, float] = {}
+        scores = {}
         for obj in objects:
             object_id = obj.object_id if isinstance(obj, GeoTextualObject) else obj
             value = self.score(object_id, query)

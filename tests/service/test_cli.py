@@ -43,7 +43,7 @@ class TestInfo:
     def test_info_prints_manifest_fields(self, cli_artifact, capsys):
         assert main(["info", str(cli_artifact), "--verify"]) == 0
         out = capsys.readouterr().out
-        assert "format version : 1" in out
+        assert "format version : 2" in out
         assert "fingerprint" in out
         assert "verified ok" in out
 
@@ -51,7 +51,12 @@ class TestInfo:
         assert main(["info", str(cli_artifact), "--json"]) == 0
         raw = json.loads(capsys.readouterr().out)
         assert raw["format_version"] == FORMAT_VERSION
-        assert set(raw["checksums"]) == {"network.npz", "index.pkl", "vocabulary.json"}
+        assert set(raw["checksums"]) == {
+            "network.npz",
+            "scoring.npz",
+            "index.pkl",
+            "vocabulary.json",
+        }
 
     def test_info_on_missing_artifact_fails_cleanly(self, tmp_path, capsys):
         assert main(["info", str(tmp_path / "missing")]) == 2

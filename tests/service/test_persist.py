@@ -36,7 +36,7 @@ from repro.service import (
     read_manifest,
     verify_artifact,
 )
-from repro.service.persist import INDEX_NAME, MANIFEST_NAME, NETWORK_NAME
+from repro.service.persist import INDEX_NAME, MANIFEST_NAME, NETWORK_NAME, SCORING_NAME
 
 
 def _tiny_dataset(seed: int = 3):
@@ -153,7 +153,7 @@ class TestIntegrity:
         with pytest.raises(ArtifactError, match="format version"):
             IndexBundle.load(path)
 
-    @pytest.mark.parametrize("victim", [NETWORK_NAME, INDEX_NAME])
+    @pytest.mark.parametrize("victim", [NETWORK_NAME, SCORING_NAME, INDEX_NAME])
     def test_corruption_is_rejected_by_checksums(self, tmp_path, victim):
         bundle = IndexBundle.from_dataset(_tiny_dataset(seed=8))
         path = tmp_path / "corrupt"
