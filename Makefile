@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test docs-check bench-service bench bench-smoke bench-json artifact-smoke
+.PHONY: test docs-check compile-check bench-service bench bench-smoke bench-json artifact-smoke
 
 # Tier-1 suite (includes the docs link/section check).
 test:
@@ -10,6 +10,11 @@ test:
 # Fail on broken intra-repo doc links or missing README sections.
 docs-check:
 	$(PYTHON) -m pytest tests/test_docs.py -q
+
+# Byte-compile the whole source tree: a fast syntax/import-shape gate that
+# catches broken modules the test run might not import.
+compile-check:
+	$(PYTHON) -m compileall -q src
 
 # Serving-layer throughput benchmark (queries/sec vs batch size, cache hit rate).
 bench-service:
@@ -28,12 +33,16 @@ bench-smoke:
 	REPRO_BENCH_SMOKE=1 timeout 1200 $(PYTHON) -m pytest benchmarks/ -q \
 		-o python_files="bench_*.py"
 
-# Record the scoring-pipeline perf numbers as JSON (columnar vs scalar instance
-# build, see benchmarks/bench_scoring.py) so the repo's performance trajectory
-# is captured run over run. Runs at the default benchmark scale.
+# Record the perf numbers of the two refactor benchmarks as JSON — the
+# columnar scoring pipeline (BENCH_scoring.json, bench_scoring.py) and the
+# dense solver substrate (BENCH_solver.json, bench_solver_backend.py) — so the
+# repo's performance trajectory is captured run over run. Runs at the default
+# benchmark scale.
 bench-json:
 	REPRO_BENCH_JSON=BENCH_scoring.json $(PYTHON) -m pytest \
 		benchmarks/bench_scoring.py -q -s -o python_files="bench_*.py"
+	REPRO_BENCH_JSON=BENCH_solver.json $(PYTHON) -m pytest \
+		benchmarks/bench_solver_backend.py -q -s -o python_files="bench_*.py"
 
 # End-to-end artifact gate through the CLI: build a small artifact, verify and
 # reload it, and answer one query per solver (exact gets a small window so its

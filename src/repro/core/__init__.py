@@ -22,6 +22,7 @@ from repro.core.region import Region
 from repro.core.tuples import RegionTuple, TupleArray
 from repro.core.result import RegionResult, TopKResult
 from repro.core.scaling import ScalingContext
+from repro.core.dense import DenseInstance
 from repro.core.instance import ProblemInstance, build_instance
 from repro.core.app import APPSolver, BinarySearchTrace
 from repro.core.tgen import TGENSolver
@@ -38,6 +39,7 @@ __all__ = [
     "RegionResult",
     "TopKResult",
     "ScalingContext",
+    "DenseInstance",
     "ProblemInstance",
     "build_instance",
     "APPSolver",

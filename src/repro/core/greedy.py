@@ -17,13 +17,23 @@ Note on the paper's formula: the paper's text prints the weight term as
 by the anchor's weight cannot differentiate them, so — consistent with the algorithm's
 stated intent ("the node weight ... of the selecting node") — we use the candidate's
 weight ``σ_{vi}``. This interpretation is recorded here and in DESIGN.md.
+
+Candidate enumeration order is part of the determinism contract: each round scans
+the region's members in *insertion order* and each member's neighbours in graph
+iteration order. The dense backend (:class:`~repro.core.dense.DenseInstance`)
+replays exactly that sequence — members append their CSR rows (with ranks
+precomputed once) to one flat candidate table as they join, so one list-indexed
+scan selects the same attachment, bit for bit, as the dict loops.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Set, Tuple
+from typing import List, Optional, Set, Tuple
 
+import numpy as np
+
+from repro.core.dense import DenseInstance
 from repro.core.instance import ProblemInstance
 from repro.core.region import Region
 from repro.core.result import RegionResult, TopKResult
@@ -58,7 +68,13 @@ class GreedySolver:
             node in the window is relevant.
         """
         start = time.perf_counter()
-        region = self._grow(instance, excluded=set())
+        dense = instance.dense_view()
+        if dense is not None:
+            region = self._grow_dense(
+                dense, instance.query.delta, bytearray(dense.num_nodes)
+            )
+        else:
+            region = self._grow(instance, excluded=set())
         runtime = time.perf_counter() - start
         stats = {"nodes_expanded": float(region.num_nodes)} if region else {}
         return RegionResult(region or Region.empty(), self.name, runtime, stats=stats)
@@ -76,14 +92,26 @@ class GreedySolver:
         """
         start = time.perf_counter()
         k = k or instance.query.k
-        excluded: Set[int] = set()
+        dense = instance.dense_view()
         results: List[RegionResult] = []
-        for _ in range(k):
-            region = self._grow(instance, excluded=excluded)
-            if region is None or region.is_empty:
-                break
-            results.append(RegionResult(region, self.name))
-            excluded |= set(region.nodes)
+        if dense is not None:
+            excluded_mask = bytearray(dense.num_nodes)
+            position_of = dense.position_of()
+            for _ in range(k):
+                region = self._grow_dense(dense, instance.query.delta, excluded_mask)
+                if region is None or region.is_empty:
+                    break
+                results.append(RegionResult(region, self.name))
+                for node_id in region.nodes:
+                    excluded_mask[position_of[node_id]] = 1
+        else:
+            excluded: Set[int] = set()
+            for _ in range(k):
+                region = self._grow(instance, excluded=excluded)
+                if region is None or region.is_empty:
+                    break
+                results.append(RegionResult(region, self.name))
+                excluded |= set(region.nodes)
         runtime = time.perf_counter() - start
         results = [
             RegionResult(r.region, self.name, runtime, stats=r.stats) for r in results
@@ -108,13 +136,14 @@ class GreedySolver:
         tau_max = graph.max_edge_length() or 1.0
         _, seed = max(seeds)
 
+        region_order: List[int] = [seed]
         region_nodes: Set[int] = {seed}
         region_edges: Set[Tuple[int, int]] = set()
         total_length = 0.0
 
         while True:
             best_candidate: Optional[Tuple[float, int, int, float]] = None
-            for member in region_nodes:
+            for member in region_order:
                 for neighbor, edge_length in graph.neighbor_items(member):
                     if neighbor in region_nodes or neighbor in excluded:
                         continue
@@ -134,14 +163,118 @@ class GreedySolver:
             if best_candidate is None:
                 break
             _, neighbor, member, edge_length = best_candidate
+            region_order.append(neighbor)
             region_nodes.add(neighbor)
             region_edges.add(edge_key(member, neighbor))
             total_length += edge_length
 
-        weight_total = sum(weights.get(node_id, 0.0) for node_id in region_nodes)
+        weight_total = sum(weights.get(node_id, 0.0) for node_id in region_order)
         return Region(
             nodes=frozenset(region_nodes),
             edges=frozenset(region_edges),
+            length=total_length,
+            weight=weight_total,
+        )
+
+    def _grow_dense(
+        self, dense: DenseInstance, delta: float, excluded: bytearray
+    ) -> Optional[Region]:
+        """Array-first twin of :meth:`_grow` over local node positions.
+
+        Candidate ranks are constants per (member, neighbour) edge, so each new
+        member appends its CSR row — rank precomputed once — to one flat
+        candidate table; per round a single scan over that table applies the
+        reference comparison with list indexing only (no per-candidate dict
+        hashing, set probing or rank re-derivation). The scan order equals the
+        dict loop's member-insertion × neighbour-row order and the rank
+        arithmetic keeps the reference expression tree, so the selected
+        attachment is identical, bit for bit.
+        """
+        sigma = dense.sigma
+        relevant = dense.relevant_order
+        if relevant.size == 0:
+            return None
+        # Zero-copy view of the exclusion byte mask for the vectorised seed pick.
+        excluded_view = np.frombuffer(excluded, dtype=np.uint8)
+        available = relevant[excluded_view[relevant] == 0]
+        if available.size == 0:
+            return None
+        available_weights = sigma[available]
+        sigma_max = float(available_weights.max())
+        if sigma_max <= 0:
+            return None
+        tau_max = dense.tau_max or 1.0
+        # The reference seeds at max (weight, id): heaviest weight, largest id on ties.
+        heaviest = available[available_weights == sigma_max]
+        seed = int(heaviest[np.argmax(dense.ids[heaviest])])
+
+        indptr, columns, neighbor_ids, lengths, ids_list = (
+            dense.graph_view().adjacency_arrays()
+        )
+        sigma_list = dense.sigma_list()
+        mu = self.mu
+        one_minus_mu = 1.0 - mu
+        delta_eps = delta + 1e-12
+
+        in_region = bytearray(dense.num_nodes)
+        in_region[seed] = 1
+        region_order: List[int] = [seed]
+        region_edges: List[Tuple[int, int]] = []
+        total_length = 0.0
+
+        # Flat candidate table, appended to as members join (see docstring).
+        cand_pos: List[int] = []
+        cand_member: List[int] = []
+        cand_length: List[float] = []
+        cand_rank: List[float] = []
+        cand_id: List[int] = []
+
+        member = seed
+        while True:
+            for slot in range(indptr[member], indptr[member + 1]):
+                position = columns[slot]
+                edge_length = lengths[slot]
+                cand_pos.append(position)
+                cand_member.append(member)
+                cand_length.append(edge_length)
+                # Same expression tree as the reference rank computation.
+                cand_rank.append(
+                    mu * (1.0 - edge_length / tau_max)
+                    + one_minus_mu * sigma_list[position] / sigma_max
+                )
+                cand_id.append(neighbor_ids[slot])
+
+            best_slot = -1
+            best_rank = 0.0
+            best_id = -1
+            for slot in range(len(cand_pos)):
+                position = cand_pos[slot]
+                if in_region[position] or excluded[position]:
+                    continue
+                if total_length + cand_length[slot] > delta_eps:
+                    continue
+                rank = cand_rank[slot]
+                if best_slot < 0 or rank > best_rank or (
+                    abs(rank - best_rank) <= 1e-12 and cand_id[slot] < best_id
+                ):
+                    best_slot = slot
+                    best_rank = rank
+                    best_id = cand_id[slot]
+            if best_slot < 0:
+                break
+            neighbor = cand_pos[best_slot]
+            in_region[neighbor] = 1
+            region_order.append(neighbor)
+            region_edges.append((cand_member[best_slot], neighbor))
+            total_length += cand_length[best_slot]
+            member = neighbor
+
+        weight_total = sum(sigma_list[pos] for pos in region_order)
+        return Region(
+            nodes=frozenset(ids_list[pos] for pos in region_order),
+            edges=frozenset(
+                edge_key(ids_list[a], ids_list[b]) for a, b in region_edges
+            ),
             length=total_length,
             weight=weight_total,
         )

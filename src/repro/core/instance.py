@@ -6,25 +6,42 @@ weights σ_v obtained from the index layer. :class:`ProblemInstance` packages ex
 that, and :func:`build_instance` produces it either from the full indexing stack
 (grid index + object mapping) or from explicit node weights (unit tests, the paper's
 Figure 2 example).
+
+Since the dense-substrate refactor an instance carries *two* coupled views of the
+same input:
+
+* the **dict view** — ``weights: Dict[int, float]`` keyed by global node ids,
+  consumed by the reference solver backend (and by the Exact oracle); and
+* the **dense view** — a :class:`~repro.core.dense.DenseInstance` of
+  position-indexed arrays, consumed by the solvers' array-first hot loops.
+
+Either view can be materialised from the other (lazily, cached), and solvers
+must return byte-identical results on both — the cross-backend parity suite
+(``tests/core/test_solver_backend_parity.py``) enforces it. ``solver_backend``
+selects which view the solvers take: ``"auto"`` (dense when the builder
+attached one — the pipeline hot path — dict otherwise), ``"dense"`` (force the
+substrate, building it on demand) or ``"dict"`` (force the reference loops).
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
 from typing import Dict, Iterable, Mapping, Optional, Set
 
+from repro.core.dense import DenseInstance
 from repro.core.query import LCMSRQuery
 from repro.exceptions import QueryError
 from repro.index.grid import GridIndex
-from repro.network.compact import GraphView
+from repro.network.compact import CompactNetwork, GraphView
 from repro.network.subgraph import Rectangle, induced_subgraph
 from repro.objects.mapping import NodeObjectMap
 from repro.textindex.columnar import WeightPipeline
 from repro.textindex.relevance import RelevanceScorer
 
+SOLVER_BACKENDS = ("auto", "dense", "dict")
+"""The valid ``solver_backend`` selectors (shared by every validation site)."""
 
-@dataclass
+
 class ProblemInstance:
     """The windowed, weighted graph a solver consumes.
 
@@ -36,17 +53,102 @@ class ProblemInstance:
             treat it as read-only and code against the
             :class:`~repro.network.compact.GraphView` protocol.
         weights: Positive node weights σ_v for the relevant nodes; nodes absent from
-            the mapping have weight 0.
+            the mapping have weight 0. Materialised lazily from the dense arrays
+            when the instance was created dense-first (e.g. out of the serving
+            layer's substrate cache) — the rebuilt dict iterates in the source
+            dict's order, so the reference backend stays byte-identical.
         query: The originating LCMSR query.
         build_seconds: Time spent building the instance (index probing + windowing);
             reported separately from solver runtime, mirroring the paper's offline /
             online split.
+        dense: The attached :class:`~repro.core.dense.DenseInstance`, or ``None``
+            when only the dict view exists (use :meth:`ensure_dense` to build it).
+        solver_backend: ``"auto"`` / ``"dense"`` / ``"dict"`` — which view the
+            solvers consume (see the module docstring).
+
+    Instances are immutable by contract: neither view nor the derived aggregates
+    are ever invalidated.
     """
 
-    graph: GraphView
-    weights: Dict[int, float]
-    query: LCMSRQuery
-    build_seconds: float = 0.0
+    def __init__(
+        self,
+        graph: GraphView,
+        weights: Optional[Dict[int, float]] = None,
+        query: Optional[LCMSRQuery] = None,
+        build_seconds: float = 0.0,
+        dense: Optional[DenseInstance] = None,
+        solver_backend: str = "auto",
+    ) -> None:
+        if weights is None and dense is None:
+            raise QueryError("a ProblemInstance needs weights, a dense substrate, or both")
+        if query is None:
+            raise QueryError("a ProblemInstance needs its originating query")
+        if solver_backend not in SOLVER_BACKENDS:
+            raise QueryError(
+                f"solver_backend must be one of {SOLVER_BACKENDS}, got {solver_backend!r}"
+            )
+        self.graph = graph
+        self.query = query
+        self.build_seconds = build_seconds
+        self.dense = dense
+        self.solver_backend = solver_backend
+        self._weights = weights
+        # Derived aggregates, computed once on demand (instances are immutable).
+        self._sigma_max: Optional[float] = None
+        self._total_weight: Optional[float] = None
+        self._relevant_nodes: Optional[Set[int]] = None
+
+    # ------------------------------------------------------------------ views
+    @property
+    def weights(self) -> Dict[int, float]:
+        """The dict view of σ_v (materialised lazily from the dense arrays)."""
+        if self._weights is None:
+            assert self.dense is not None
+            self._weights = self.dense.weights_dict()
+        return self._weights
+
+    def dense_view(self) -> Optional[DenseInstance]:
+        """The dense view the solvers should consume, or ``None`` for the dict path.
+
+        Resolution follows :attr:`solver_backend`: ``"dict"`` always returns
+        ``None``; ``"dense"`` builds and caches the substrate on demand; and
+        ``"auto"`` returns whatever the instance builder attached (the columnar
+        pipeline path attaches one, the scalar/test paths do not).
+        """
+        if self.solver_backend == "dict":
+            return None
+        if self.solver_backend == "dense":
+            return self.ensure_dense()
+        return self.dense
+
+    def ensure_dense(self) -> DenseInstance:
+        """Build (and cache) the dense substrate from the dict view if missing."""
+        if self.dense is None:
+            self.dense = DenseInstance.from_graph(self.graph, self.weights)
+        return self.dense
+
+    def with_backend(self, solver_backend: str) -> "ProblemInstance":
+        """Return a sibling instance sharing every view but pinned to a backend.
+
+        The graph, dict weights and dense substrate are shared, not copied —
+        the parity suite and the runner use this to solve one built instance
+        under both backends.
+        """
+        # Validation happens in the constructor below.
+        sibling = ProblemInstance(
+            graph=self.graph,
+            weights=self._weights,
+            query=self.query,
+            build_seconds=self.build_seconds,
+            dense=self.dense,
+            solver_backend=solver_backend,
+        )
+        if solver_backend == "dense":
+            sibling.ensure_dense()
+            # Share the lazily built substrate back so repeated switches are free.
+            if self.dense is None:
+                self.dense = sibling.dense
+        return sibling
 
     # ------------------------------------------------------------------ derived facts
     @property
@@ -62,6 +164,8 @@ class ProblemInstance:
     @property
     def has_relevant_nodes(self) -> bool:
         """``True`` if at least one node has positive weight."""
+        if self._weights is None and self.dense is not None:
+            return bool(self.dense.relevant_positions().size)
         return any(weight > 0 for weight in self.weights.values())
 
     def weight_of(self, node_id: int) -> float:
@@ -69,16 +173,34 @@ class ProblemInstance:
         return self.weights.get(node_id, 0.0)
 
     def sigma_max(self) -> float:
-        """Return the largest node weight in the instance (0.0 if none)."""
-        return max(self.weights.values(), default=0.0)
+        """Return the largest node weight in the instance (0.0 if none; cached)."""
+        if self._sigma_max is None:
+            if self._weights is None and self.dense is not None:
+                self._sigma_max = self.dense.sigma_max
+            else:
+                self._sigma_max = max(self.weights.values(), default=0.0)
+        return self._sigma_max
 
     def total_weight(self) -> float:
-        """Return the sum of all node weights in the instance."""
-        return sum(self.weights.values())
+        """Return the sum of all node weights in the instance (cached).
+
+        The dense substrate replays the dict iteration order when summing, so
+        the cached value is bit-equal on both views.
+        """
+        if self._total_weight is None:
+            if self._weights is None and self.dense is not None:
+                self._total_weight = self.dense.total_weight
+            else:
+                self._total_weight = sum(self.weights.values())
+        return self._total_weight
 
     def relevant_nodes(self) -> Set[int]:
-        """Return the ids of nodes with positive weight."""
-        return {node_id for node_id, weight in self.weights.items() if weight > 0}
+        """Return the ids of nodes with positive weight (cached; treat as read-only)."""
+        if self._relevant_nodes is None:
+            self._relevant_nodes = {
+                node_id for node_id, weight in self.weights.items() if weight > 0
+            }
+        return self._relevant_nodes
 
     def restricted_to(self, node_ids: Iterable[int]) -> "ProblemInstance":
         """Return a copy of the instance restricted to a node subset (used in tests)."""
@@ -88,6 +210,7 @@ class ProblemInstance:
             weights={n: w for n, w in self.weights.items() if n in keep},
             query=self.query,
             build_seconds=self.build_seconds,
+            solver_backend=self.solver_backend,
         )
 
 
@@ -106,7 +229,10 @@ def build_instance(
 
     * ``pipeline`` — the columnar hot path: σ_v computed with vectorised array
       kernels over the frozen :class:`~repro.textindex.columnar.ColumnarScoringIndex`
-      (bit-identical to the ``scorer`` reference backend); or
+      (bit-identical to the ``scorer`` reference backend). When the window graph
+      is a frozen CSR view, the instance additionally carries an attached
+      :class:`~repro.core.dense.DenseInstance` so the solvers' array-first hot
+      loops run without any dict re-keying; or
     * ``grid_index`` + ``mapping`` — the paper's per-cell indexing path: the grid
       scores the relevant objects inside ``Q.Λ`` via its inverted lists and the
       scores are aggregated per mapped node; or
@@ -153,9 +279,16 @@ def build_instance(
         weights = pipeline.node_weights(
             query.keywords, window=query.region, node_window=query.region
         )
+        dense: Optional[DenseInstance] = None
+        if isinstance(window_graph, CompactNetwork):
+            dense = DenseInstance.from_graph(window_graph, weights)
         build_seconds = time.perf_counter() - start
         return ProblemInstance(
-            graph=window_graph, weights=weights, query=query, build_seconds=build_seconds
+            graph=window_graph,
+            weights=weights,
+            query=query,
+            build_seconds=build_seconds,
+            dense=dense,
         )
 
     window_nodes = set(window_graph.node_ids())
@@ -190,5 +323,3 @@ def build_instance(
     return ProblemInstance(
         graph=window_graph, weights=weights, query=query, build_seconds=build_seconds
     )
-
-

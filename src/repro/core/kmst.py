@@ -27,13 +27,27 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.core.pcst import goemans_williamson_pcst
 from repro.exceptions import SolverError
 from repro.network.compact import GraphView
 from repro.network.graph import edge_key
-from repro.network.shortest_path import dijkstra
+from repro.network.shortest_path import dijkstra, dijkstra_positions
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (dense imports nothing from here)
+    from repro.core.dense import DenseInstance
 
 _DEFAULT_LAMBDA_FACTORS: Tuple[float, ...] = (
     0.0625, 0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0,
@@ -76,6 +90,12 @@ class QuotaTreeSolver:
             closure stays as connected as the underlying window graph allows).
         lambda_factors: Multipliers applied to the base λ to build the Lagrangian
             ladder; more factors give a finer length/weight trade-off at higher cost.
+        dense: Optional :class:`~repro.core.dense.DenseInstance` of the same
+            window. When given, the terminal set is derived from the dense arrays
+            (every weight key is a window node by construction, so no per-key
+            graph probe) and the metric closure runs on the local-CSR Dijkstra
+            variant — position-indexed tables, no global-id dict per run. The
+            produced closure (distances, paths, candidate trees) is identical.
     """
 
     def __init__(
@@ -85,13 +105,21 @@ class QuotaTreeSolver:
         scaled_weights: Mapping[int, int],
         closure_neighbors: int = 8,
         lambda_factors: Sequence[float] = _DEFAULT_LAMBDA_FACTORS,
+        dense: Optional["DenseInstance"] = None,
     ) -> None:
         self._graph = graph
         self._weights = dict(weights)
         self._scaled = {v: int(s) for v, s in scaled_weights.items()}
-        self._terminals = sorted(
-            v for v, s in self._scaled.items() if s > 0 and v in graph
-        )
+        self._dense = dense
+        if dense is not None:
+            # Dense instances only carry in-window weights, so the `v in graph`
+            # membership probe (which would materialise the snapshot's id map)
+            # is dropped without changing the terminal set.
+            self._terminals = sorted(v for v, s in self._scaled.items() if s > 0)
+        else:
+            self._terminals = sorted(
+                v for v, s in self._scaled.items() if s > 0 and v in graph
+            )
         self._closure_neighbors = max(1, closure_neighbors)
         self._lambda_factors = tuple(lambda_factors)
         # Lazily built state.
@@ -142,18 +170,10 @@ class QuotaTreeSolver:
         if len(terminals) <= 1:
             return
         nearest: Dict[int, List[Tuple[float, int]]] = {}
-        parents: Dict[int, Dict[int, int]] = {}
-        for source in terminals:
-            dist, parent = dijkstra(self._graph, source, targets=set(terminal_set) - {source})
-            reached = {t: d for t, d in dist.items() if t in terminal_set and t != source}
-            self._closure_dist[source] = reached
-            ranked = sorted((d, t) for t, d in reached.items())
-            nearest[source] = ranked[: self._closure_neighbors]
-            parents[source] = parent
-            for _, target in nearest[source]:
-                key = edge_key(source, target)
-                if key not in self._closure_paths:
-                    self._closure_paths[key] = _reconstruct_path(parent, source, target)
+        if self._dense is not None:
+            fill_path = self._collect_closure_dense(terminal_set, nearest)
+        else:
+            fill_path = self._collect_closure_dict(terminal_set, nearest)
 
         edge_set: Set[Tuple[int, int]] = set()
         for source in terminals:
@@ -170,11 +190,95 @@ class QuotaTreeSolver:
                 edge_set.add(key)
                 self._closure_edges.append((key[0], key[1], distance))
             if key not in self._closure_paths:
-                parent = parents.get(u)
-                if parent is None or (v not in parent and v != u):
-                    # The targeted Dijkstra above may have stopped before settling v.
-                    _, parent = dijkstra(self._graph, u, targets={v})
-                self._closure_paths[key] = _reconstruct_path(parent, u, v)
+                fill_path(u, v)
+
+    def _collect_closure_dict(
+        self,
+        terminal_set: Set[int],
+        nearest: Dict[int, List[Tuple[float, int]]],
+    ):
+        """Per-terminal metric-closure probes through the id-keyed Dijkstra.
+
+        Returns the path-fill callback used for closure-MST edges whose paths
+        were not recorded by the nearest-neighbour probes.
+        """
+        parents: Dict[int, Dict[int, int]] = {}
+        for source in self._terminals:
+            dist, parent = dijkstra(
+                self._graph, source, targets=set(terminal_set) - {source}
+            )
+            reached = {t: d for t, d in dist.items() if t in terminal_set and t != source}
+            self._closure_dist[source] = reached
+            ranked = sorted((d, t) for t, d in reached.items())
+            nearest[source] = ranked[: self._closure_neighbors]
+            parents[source] = parent
+            for _, target in nearest[source]:
+                key = edge_key(source, target)
+                if key not in self._closure_paths:
+                    self._closure_paths[key] = _reconstruct_path(parent, source, target)
+
+        def fill_path(u: int, v: int) -> None:
+            parent = parents.get(u)
+            if parent is None or (v not in parent and v != u):
+                # The targeted Dijkstra above may have stopped before settling v.
+                _, parent = dijkstra(self._graph, u, targets={v})
+            self._closure_paths[edge_key(u, v)] = _reconstruct_path(parent, u, v)
+
+        return fill_path
+
+    def _collect_closure_dense(
+        self,
+        terminal_set: Set[int],
+        nearest: Dict[int, List[Tuple[float, int]]],
+    ):
+        """Position-indexed twin of :meth:`_collect_closure_dict`.
+
+        Runs the local-CSR Dijkstra variant per terminal — distances, parents
+        and the touch order are identical to the id-keyed path (same relaxation
+        order, same id tie-breaks), so the recorded closure is too; what is
+        saved is the per-run materialisation of full global-id dist/parent
+        dicts (only terminal rows are converted back to ids).
+        """
+        dense = self._dense
+        assert dense is not None
+        position_of = dense.position_of()
+        ids_list = dense.ids_list()
+        graph = dense.graph_view()
+        terminal_positions = {position_of[t] for t in terminal_set}
+        parents_by_pos: Dict[int, List[int]] = {}
+        for source in self._terminals:
+            source_pos = position_of[source]
+            dist, parent, touched = dijkstra_positions(
+                graph, source_pos, terminal_positions - {source_pos}
+            )
+            # Touch order replays the id-keyed dict's iteration order.
+            reached = {
+                ids_list[pos]: dist[pos]
+                for pos in touched
+                if pos in terminal_positions and pos != source_pos
+            }
+            self._closure_dist[source] = reached
+            ranked = sorted((d, t) for t, d in reached.items())
+            nearest[source] = ranked[: self._closure_neighbors]
+            parents_by_pos[source] = parent
+            for _, target in nearest[source]:
+                key = edge_key(source, target)
+                if key not in self._closure_paths:
+                    self._closure_paths[key] = _reconstruct_path_positions(
+                        parent, source_pos, position_of[target], ids_list
+                    )
+
+        def fill_path(u: int, v: int) -> None:
+            u_pos, v_pos = position_of[u], position_of[v]
+            parent = parents_by_pos.get(u)
+            if parent is None or (parent[v_pos] < 0 and v != u):
+                # The targeted Dijkstra above may have stopped before settling v.
+                _, parent, _ = dijkstra_positions(graph, u_pos, {v_pos})
+            self._closure_paths[edge_key(u, v)] = _reconstruct_path_positions(
+                parent, u_pos, v_pos, ids_list
+            )
+
+        return fill_path
 
     def _closure_mst_edges(self) -> List[Tuple[int, int, float]]:
         """Prim's MST over the full terminal-to-terminal distance matrix."""
@@ -371,3 +475,19 @@ def _reconstruct_path(parent: Mapping[int, int], source: int, target: int) -> Li
         path.append(parent[path[-1]])
     path.reverse()
     return path
+
+
+def _reconstruct_path_positions(
+    parent: Sequence[int], source_pos: int, target_pos: int, ids: Sequence[int]
+) -> List[int]:
+    """Position-indexed twin of :func:`_reconstruct_path` (returns node ids)."""
+    if source_pos == target_pos:
+        return [ids[source_pos]]
+    if parent[target_pos] < 0:
+        raise SolverError(
+            f"no path from {ids[source_pos]} to {ids[target_pos]} in the query window"
+        )
+    path_positions = [target_pos]
+    while path_positions[-1] != source_pos:
+        path_positions.append(parent[path_positions[-1]])
+    return [ids[pos] for pos in reversed(path_positions)]

@@ -18,6 +18,8 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional
 
+import numpy as np
+
 from repro.exceptions import SolverError
 
 
@@ -56,11 +58,28 @@ class ScalingContext:
                 (there is nothing to scale — callers should have short-circuited to an
                 empty result already).
         """
+        sigma_max = max(weights.values(), default=0.0)
+        return ScalingContext.from_sigma_max(sigma_max, num_candidate_nodes, alpha)
+
+    @staticmethod
+    def from_sigma_max(
+        sigma_max: float,
+        num_candidate_nodes: int,
+        alpha: float,
+    ) -> "ScalingContext":
+        """Create a scaling context from the precomputed σmax aggregate.
+
+        The dense-substrate path uses this: :class:`~repro.core.dense.DenseInstance`
+        already carries σmax, so no weight scan is needed. ``build`` delegates
+        here, guaranteeing both paths derive the identical θ.
+
+        Raises:
+            SolverError: As in :meth:`build`.
+        """
         if alpha <= 0:
             raise SolverError(f"scaling parameter alpha must be positive, got {alpha}")
         if num_candidate_nodes <= 0:
             raise SolverError("the query region contains no nodes")
-        sigma_max = max(weights.values(), default=0.0)
         if sigma_max <= 0:
             raise SolverError("no node has positive weight; nothing to scale")
         theta = alpha * sigma_max / num_candidate_nodes
@@ -81,6 +100,20 @@ class ScalingContext:
     def scale_weights(self, weights: Mapping[int, float]) -> Dict[int, int]:
         """Scale a whole node-weight map; zero results are kept (the node stays known)."""
         return {node_id: self.scale(weight) for node_id, weight in weights.items()}
+
+    def scale_array(self, weights: np.ndarray) -> np.ndarray:
+        """Scale a position-indexed σ vector to ``σ̂`` in one vectorised pass.
+
+        Bit-equivalent to mapping :meth:`scale` over the entries: both compute
+        ``⌊σ / θ⌋`` with one IEEE-754 double division per weight and clamp
+        non-positive weights to 0.
+
+        Returns:
+            An int64 array aligned with ``weights``.
+        """
+        values = np.asarray(weights, dtype=np.float64)
+        scaled = np.where(values > 0.0, np.floor(values / self.theta), 0.0)
+        return scaled.astype(np.int64)
 
     def unscale(self, scaled_weight: int) -> float:
         """Return ``θ · ŝ``, the guaranteed lower bound on the original weight."""

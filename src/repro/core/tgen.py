@@ -17,12 +17,16 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
+from repro.core.dense import DenseInstance
 from repro.core.instance import ProblemInstance
 from repro.core.region import Region
 from repro.core.result import RegionResult, TopKResult
 from repro.core.scaling import ScalingContext
-from repro.core.tuples import RegionTuple, TupleArray
+from repro.core.tuples import EPS, RegionTuple, TupleArray, make_region_tuple
 from repro.exceptions import SolverError
+from repro.network.graph import edge_key
 
 
 class TGENSolver:
@@ -126,6 +130,9 @@ class TGENSolver:
         stats: Dict[str, float] = {"tuples_generated": 0.0, "edges_processed": 0.0}
         if not instance.has_relevant_nodes or instance.num_candidate_nodes == 0:
             return None, [], stats
+        dense = instance.dense_view()
+        if dense is not None:
+            return self._run_dense(instance, dense, collect_pool, pool_size)
         graph = instance.graph
         delta = instance.query.delta
         scaling = ScalingContext.build(
@@ -199,6 +206,187 @@ class TGENSolver:
                             ):
                                 _evict_worst(array, self.max_tuples_per_node)
                 processed_nodes.add(vi)
+        return best, pool, stats
+
+    # ------------------------------------------------------------------ dense hot loop
+    #: Pair-count threshold above which per-edge feasibility is prefiltered with a
+    #: vectorised outer sum instead of per-pair Python float arithmetic.
+    _PREFILTER_PAIRS = 32
+
+    def _run_dense(
+        self,
+        instance: ProblemInstance,
+        dense: DenseInstance,
+        collect_pool: bool,
+        pool_size: int = 0,
+    ) -> Tuple[Optional[RegionTuple], List[RegionTuple], Dict[str, float]]:
+        """Array-first twin of :meth:`_run` over local node positions.
+
+        The region/tuple logic (Definition 6 arrays, Lemma 9 disjointness, the
+        combine rule) is byte-for-byte the reference code; what is arrayified is
+        the scaffolding around it: scaled weights come from one vectorised pass,
+        the BFS runs over CSR positions with flat visited tables and packed edge
+        keys instead of id-keyed sets, and per-edge tuple combinations are
+        prefiltered by a vectorised feasibility mask ``(l_i + l_j) + τ ≤ Q.∆``
+        that enumerates surviving pairs in the reference (i-major) order.
+        """
+        stats: Dict[str, float] = {}
+        delta = instance.query.delta
+        delta_eps = delta + 1e-12
+        n = instance.num_candidate_nodes
+        scaling = ScalingContext.from_sigma_max(
+            instance.sigma_max(), n, self._effective_alpha(instance)
+        )
+        scaled_list = scaling.scale_array(dense.sigma).tolist()
+        sigma_list = dense.sigma_list()
+        ids_list = dense.ids_list()
+        # Shared cached list mirrors of the window CSR (built once per window,
+        # reused across solves of the same cached substrate).
+        indptr, columns, _, lengths, _ = dense.graph_view().adjacency_arrays()
+
+        arrays_by_pos: List[TupleArray] = []
+        arrays: Dict[int, TupleArray] = {}
+        best: Optional[RegionTuple] = None
+        pool: List[RegionTuple] = []
+        pool_keys: Set[frozenset] = set()
+        for pos in range(n):
+            node_id = ids_list[pos]
+            array = TupleArray()
+            singleton = RegionTuple.singleton(node_id, sigma_list[pos], scaled_list[pos])
+            array.update(singleton)
+            arrays_by_pos.append(array)
+            arrays[node_id] = array
+            if singleton.better_than(best):
+                best = singleton
+            if collect_pool and singleton.scaled_weight > 0:
+                _pool_add(pool, pool_keys, singleton, pool_size)
+
+        processed_nodes: Set[int] = set()
+        visited_edges: Set[int] = set()
+        visited = bytearray(n)
+        edges_processed = 0
+        tuples_generated = 0
+        max_tuples = self.max_tuples_per_node
+
+        # Traversal seeds: every node, relevant (weighted) nodes first — the
+        # position-space equivalent of _start_nodes' sort by (-σ_v, node id).
+        start_order = np.lexsort((dense.ids, -dense.sigma)).tolist()
+        for start_pos in start_order:
+            if visited[start_pos]:
+                continue
+            visited[start_pos] = 1
+            queue: List[int] = [start_pos]
+            head = 0
+            while head < len(queue):
+                vi = queue[head]
+                head += 1
+                vi_id = ids_list[vi]
+                array_i = arrays_by_pos[vi]
+                slots = range(indptr[vi], indptr[vi + 1])
+                if self.edge_order == "length":
+                    slots = sorted(slots, key=lambda slot: lengths[slot])
+                for slot in slots:
+                    vj = columns[slot]
+                    key = vi * n + vj if vi <= vj else vj * n + vi
+                    if key in visited_edges:
+                        continue
+                    visited_edges.add(key)
+                    if not visited[vj]:
+                        visited[vj] = 1
+                        queue.append(vj)
+                    edge_length = lengths[slot]
+                    if edge_length > delta:
+                        continue
+                    edges_processed += 1
+                    vj_id = ids_list[vj]
+                    edge_pair = edge_key(vi_id, vj_id)
+                    tuples_i = array_i.tuples()
+                    tuples_j = arrays_by_pos[vj].tuples()
+                    if len(tuples_i) * len(tuples_j) >= self._PREFILTER_PAIRS:
+                        lengths_i = np.fromiter(
+                            (t.length for t in tuples_i), np.float64, len(tuples_i)
+                        )
+                        lengths_j = np.fromiter(
+                            (t.length for t in tuples_j), np.float64, len(tuples_j)
+                        )
+                        rows, cols = np.nonzero(
+                            (lengths_i[:, None] + lengths_j[None, :]) + edge_length
+                            <= delta_eps
+                        )
+                        pairs = zip(rows.tolist(), cols.tolist())
+                    else:
+                        pairs = (
+                            (a, b)
+                            for a, tuple_a in enumerate(tuples_i)
+                            for b, tuple_b in enumerate(tuples_j)
+                            if tuple_a.length + tuple_b.length + edge_length
+                            <= delta_eps
+                        )
+                    # Fused generate/apply loop. The reference collects the
+                    # feasible combinations first and then applies them in
+                    # generation order; collection is side-effect free, so the
+                    # fused loop performs the identical update sequence. A
+                    # combined tuple is only *materialised* (frozenset unions)
+                    # when something actually keeps it — the incumbent check,
+                    # the top-k pool, or a dominance slot it wins; dominated
+                    # combinations cost two scalar adds and a few dict probes.
+                    for a, b in pairs:
+                        tuple_i = tuples_i[a]
+                        tuple_j = tuples_j[b]
+                        nodes_i = tuple_i.nodes
+                        nodes_j = tuple_j.nodes
+                        if not nodes_i.isdisjoint(nodes_j):
+                            continue
+                        tuples_generated += 1
+                        scaled = tuple_i.scaled_weight + tuple_j.scaled_weight
+                        weight = tuple_i.weight + tuple_j.weight
+                        length = tuple_i.length + tuple_j.length + edge_length
+                        # Inline RegionTuple.better_than on the scalar triple
+                        # (tolerance shared with tuples.py via EPS).
+                        if best is None:
+                            better = True
+                        elif scaled != best.scaled_weight:
+                            better = scaled > best.scaled_weight
+                        elif abs(weight - best.weight) > EPS:
+                            better = weight > best.weight
+                        else:
+                            better = length < best.length - EPS
+                        combined: Optional[RegionTuple] = None
+                        if better or collect_pool:
+                            combined = make_region_tuple(
+                                length,
+                                weight,
+                                scaled,
+                                nodes_i | nodes_j,
+                                (tuple_i.edges | tuple_j.edges) | {edge_pair},
+                            )
+                            if better:
+                                best = combined
+                            if collect_pool:
+                                _pool_add(pool, pool_keys, combined, pool_size)
+                        for members in (nodes_i, nodes_j):
+                            for member in members:
+                                if member in processed_nodes:
+                                    continue
+                                array = arrays[member]
+                                entries = array._entries  # noqa: SLF001 - inlined update
+                                stored = entries.get(scaled)
+                                if stored is None or length < stored.length - EPS:
+                                    if combined is None:
+                                        combined = make_region_tuple(
+                                            length,
+                                            weight,
+                                            scaled,
+                                            nodes_i | nodes_j,
+                                            (tuple_i.edges | tuple_j.edges)
+                                            | {edge_pair},
+                                        )
+                                    entries[scaled] = combined
+                                    if max_tuples is not None and len(entries) > max_tuples:
+                                        _evict_worst(array, max_tuples)
+                processed_nodes.add(vi_id)
+        stats["tuples_generated"] = float(tuples_generated)
+        stats["edges_processed"] = float(edges_processed)
         return best, pool, stats
 
     # ------------------------------------------------------------------ helpers

@@ -17,6 +17,39 @@ from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional,
 from repro.core.region import Region
 from repro.network.graph import edge_key
 
+#: Float tolerance shared by the dominance rule (:meth:`TupleArray.update`) and
+#: the result-preference order (:meth:`RegionTuple.better_than`). The dense
+#: solver backends inline those two predicates in their hot loops — they import
+#: this constant so the tolerance cannot drift between the copies.
+EPS = 1e-12
+
+
+def make_region_tuple(
+    length: float,
+    weight: float,
+    scaled_weight: int,
+    nodes: FrozenSet[int],
+    edges: FrozenSet[Tuple[int, int]],
+) -> "RegionTuple":
+    """Hot-path constructor for :class:`RegionTuple`.
+
+    Identical to calling the dataclass, but writes the five fields straight
+    into ``__dict__`` instead of routing each one through the frozen-dataclass
+    ``object.__setattr__`` guard — the solvers' dense backends build tens of
+    thousands of tuples per query, and the guard is pure per-field overhead
+    once the values are final. The resulting instance is indistinguishable
+    from a normally constructed one (same type, same frozen behaviour).
+    """
+    region_tuple = RegionTuple.__new__(RegionTuple)
+    region_tuple.__dict__.update(
+        length=length,
+        weight=weight,
+        scaled_weight=scaled_weight,
+        nodes=nodes,
+        edges=edges,
+    )
+    return region_tuple
+
 
 @dataclass(frozen=True)
 class RegionTuple:
@@ -89,9 +122,9 @@ class RegionTuple:
             return True
         if self.scaled_weight != other.scaled_weight:
             return self.scaled_weight > other.scaled_weight
-        if abs(self.weight - other.weight) > 1e-12:
+        if abs(self.weight - other.weight) > EPS:
             return self.weight > other.weight
-        return self.length < other.length - 1e-12
+        return self.length < other.length - EPS
 
 
 class TupleArray:
@@ -127,7 +160,7 @@ class TupleArray:
             ``True`` if the array changed.
         """
         stored = self._entries.get(candidate.scaled_weight)
-        if stored is None or candidate.length < stored.length - 1e-12:
+        if stored is None or candidate.length < stored.length - EPS:
             self._entries[candidate.scaled_weight] = candidate
             return True
         return False

@@ -248,7 +248,18 @@ class LCMSREngine:
             solver: Any object with ``solve`` / ``solve_topk`` methods.
         """
         with self._solver_lock:
-            self._solvers[name.lower()] = solver
+            # Copy-on-write: the registry dict is never mutated in place, so
+            # readers (solver(), possibly on concurrent QueryService workers)
+            # can snapshot it without taking the lock and still never observe a
+            # half-updated registry. The lock only serialises writers. The new
+            # dict is published BEFORE the generation bump: a lock-free reader
+            # pairing (generation, registry) can then at worst resolve the new
+            # solver under the old generation (its cached result is simply
+            # never served once the bump lands) — never the old solver under
+            # the new generation, which would be permanently stale.
+            updated = dict(self._solvers)
+            updated[name.lower()] = solver
+            self._solvers = updated
             self._solver_generation += 1
 
     def solver(self, name: Optional[str] = None) -> SolverUnion:
@@ -263,10 +274,14 @@ class LCMSREngine:
         Raises:
             QueryError: If ``name`` does not match a registered solver.
         """
+        # Snapshot the reference once: configure_solver() replaces the dict
+        # copy-on-write (never mutates it), so the lookup below runs on one
+        # consistent registry even while a concurrent reconfiguration lands.
+        solvers = self._solvers
         key = (name or self._default_algorithm).lower()
-        if key not in self._solvers:
-            raise QueryError(f"unknown algorithm {name!r}; known: {sorted(self._solvers)}")
-        return self._solvers[key]
+        if key not in solvers:
+            raise QueryError(f"unknown algorithm {name!r}; known: {sorted(solvers)}")
+        return solvers[key]
 
     # ------------------------------------------------------------------ querying
     def build_instance(self, query: LCMSRQuery) -> ProblemInstance:

@@ -135,6 +135,7 @@ class CompactNetwork:
         "_num_edges",
         "_row_of_entry",
         "_length_stats",
+        "_id_sort_order",
     )
 
     def __init__(
@@ -182,6 +183,7 @@ class CompactNetwork:
         self._id_to_index: Dict[int, int] | None = None
         self._row_of_entry: np.ndarray | None = None  # lazy np.repeat cache
         self._length_stats: Tuple[float, float, float] | None = None
+        self._id_sort_order: Tuple[np.ndarray, np.ndarray] | None = None
 
     def _materialize_lists(self) -> None:
         """Build the flat list mirrors of the CSR arrays (idempotent, lazy)."""
@@ -336,6 +338,22 @@ class CompactNetwork:
     def csr_index_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Return the raw ``(indptr, indices, lengths)`` numpy arrays (read-only)."""
         return self._indptr, self._indices, self._lengths
+
+    def id_sort_order(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(permutation, sorted_ids)`` for vectorised id → position lookups.
+
+        ``permutation[k]`` is the dense position of the k-th smallest node id
+        and ``sorted_ids = ids[permutation]``; a batch of node ids maps to
+        positions via ``permutation[np.searchsorted(sorted_ids, keys)]``. The
+        permutation is a constant of the immutable snapshot, so it is computed
+        once and cached — per-query consumers (the dense-instance builder on
+        the window-less hot path) then pay O(k log |V|) instead of re-sorting
+        the whole id array.
+        """
+        if self._id_sort_order is None:
+            order = np.argsort(self._ids, kind="stable")
+            self._id_sort_order = (order, self._ids[order])
+        return self._id_sort_order
 
     def csr_node_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Return the raw ``(ids, xs, ys)`` numpy arrays (read-only).

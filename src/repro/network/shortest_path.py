@@ -78,19 +78,35 @@ def dijkstra(
     return dist, parent
 
 
-def _dijkstra_csr(
+def dijkstra_positions(
     network: CompactNetwork,
-    source: int,
-    targets: Optional[Set[int]],
-    max_distance: Optional[float],
-) -> Tuple[Dict[int, float], Dict[int, int]]:
-    """Array-indexed Dijkstra over a frozen CSR snapshot.
+    source_index: int,
+    target_indices: Optional[Set[int]] = None,
+    max_distance: Optional[float] = None,
+) -> Tuple[List[float], List[int], List[int]]:
+    """Local-CSR Dijkstra: everything in and out is a dense node *position*.
 
-    Distance, parent and settled tables are dense lists indexed by node position,
-    so the inner loop does list indexing only. Heap entries carry ``(dist, id,
-    position)`` — ties order by node id exactly as in the dict-backed loop.
+    This is the substrate the array-first consumers (the k-MST metric closure,
+    the dense solver backends) use directly — no global-id dict is materialised
+    per pop or per run. Distance, parent and settled tables are flat lists
+    indexed by position; heap entries carry ``(dist, id, position)`` so ties
+    order by node id exactly as in the dict-backed loop, keeping both backends'
+    ``(dist, parent)`` outputs identical.
+
+    Args:
+        network: The frozen CSR snapshot to traverse.
+        source_index: Dense position of the source node.
+        target_indices: Optional set of positions; the search stops early once
+            all of them have been settled.
+        max_distance: Optional search radius.
+
+    Returns:
+        ``(dist, parent, touched)`` where ``dist[p]`` is the distance of
+        position ``p`` (``inf`` if never reached), ``parent[p]`` the
+        predecessor position (-1 for the source / unreached nodes), and
+        ``touched`` lists the reached positions in first-touch order (the
+        iteration order of the dict the id-keyed wrapper builds).
     """
-    source_index = network.index_of(source)
     indptr, positions, neighbor_ids, lengths, ids = network.adjacency_arrays()
     infinity = float("inf")
     num_nodes = len(ids)
@@ -99,15 +115,15 @@ def _dijkstra_csr(
     settled: List[bool] = [False] * num_nodes
     dist[source_index] = 0.0
     touched: List[int] = [source_index]
-    remaining = set(targets) if targets is not None else None
-    heap: List[Tuple[float, int, int]] = [(0.0, source, source_index)]
+    remaining = set(target_indices) if target_indices is not None else None
+    heap: List[Tuple[float, int, int]] = [(0.0, ids[source_index], source_index)]
     while heap:
-        d, u_id, u = heapq.heappop(heap)
+        d, _, u = heapq.heappop(heap)
         if settled[u]:
             continue
         settled[u] = True
         if remaining is not None:
-            remaining.discard(u_id)
+            remaining.discard(u)
             if not remaining:
                 break
         for slot in range(indptr[u], indptr[u + 1]):
@@ -121,6 +137,34 @@ def _dijkstra_csr(
                 dist[v] = nd
                 parent[v] = u
                 heapq.heappush(heap, (nd, neighbor_ids[slot], v))
+    return dist, parent, touched
+
+
+def _dijkstra_csr(
+    network: CompactNetwork,
+    source: int,
+    targets: Optional[Set[int]],
+    max_distance: Optional[float],
+) -> Tuple[Dict[int, float], Dict[int, int]]:
+    """Id-keyed wrapper over :func:`dijkstra_positions` (the CSR fast path)."""
+    source_index = network.index_of(source)
+    target_indices: Optional[Set[int]] = None
+    if targets is not None:
+        # Targets absent from the network can never settle; they are mapped to
+        # negative sentinels so the early-exit check keeps waiting on them, in
+        # line with the dict-backed loop (which runs to exhaustion then).
+        target_indices = set()
+        sentinel = -1
+        for t in targets:
+            if network.contains(t):
+                target_indices.add(network.index_of(t))
+            else:
+                target_indices.add(sentinel)
+                sentinel -= 1
+    dist, parent, touched = dijkstra_positions(
+        network, source_index, target_indices, max_distance
+    )
+    ids = network.adjacency_arrays()[4]
     dist_out: Dict[int, float] = {}
     parent_out: Dict[int, int] = {}
     for v in touched:

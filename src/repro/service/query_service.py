@@ -13,7 +13,13 @@ front end:
 * **Instance cache** — an LRU over :class:`~repro.service.keys.InstanceKey`: queries
   that share a keyword set and window (e.g. a ``∆``-sweep, or the same query under
   two algorithms) skip ``build_instance`` — the windowed subgraph extraction and the
-  grid probe — and only pay for solving.
+  grid probe — and only pay for solving. When the engine's hot path attaches a
+  :class:`~repro.core.dense.DenseInstance` (the columnar-pipeline default), the
+  cache stores that substrate instead of the full
+  :class:`~repro.core.instance.ProblemInstance`: it is smaller (flat arrays, no
+  per-entry weight dict — the dict view re-materialises lazily in the original
+  order on demand), picklable as-is, and re-binding it to an incoming query is a
+  constant-time wrap.
 
 Sharing built instances across workers is safe because solvers treat instances as
 read-only (the evaluation runner has always shared one instance across solvers) and
@@ -33,6 +39,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.core.dense import DenseInstance
 from repro.core.instance import ProblemInstance
 from repro.core.query import LCMSRQuery
 from repro.core.result import RegionResult, TopKResult
@@ -274,12 +281,16 @@ class QueryService:
         """Fetch or build the problem instance for a query.
 
         Returns:
-            ``(instance, was_cache_hit, build_seconds)``. A cached instance is
+            ``(instance, was_cache_hit, build_seconds)``. A cached entry is
             re-bound to the incoming query (``∆`` / ``k`` differ between queries
-            that legitimately share a window graph and weights).
+            that legitimately share a window graph and weights). Cache entries
+            are :class:`~repro.core.dense.DenseInstance` substrates whenever the
+            builder attached one (the hot path), full instances otherwise.
         """
-        cached: Optional[ProblemInstance] = self._instance_cache.get(key)
+        cached = self._instance_cache.get(key)
         if cached is not None:
+            if isinstance(cached, DenseInstance):
+                return cached.to_problem_instance(query), True, 0.0
             rebound = ProblemInstance(
                 graph=cached.graph,
                 weights=cached.weights,
@@ -291,7 +302,9 @@ class QueryService:
         # instance builder stopped copying the network), so caching them pins no
         # extra graph memory; windowed instances carry their own (compact) view.
         instance = self._engine.build_instance(query)
-        self._instance_cache.put(key, instance)
+        self._instance_cache.put(
+            key, instance.dense if instance.dense is not None else instance
+        )
         return instance, False, instance.build_seconds
 
     # ------------------------------------------------------------------ batch API

@@ -50,6 +50,17 @@ APP_GUARANTEE_FACTOR = 6.0
 KEYWORD_POOL = ["alpha", "beta", "gamma", "delta_kw", "epsilon"]
 
 
+@pytest.fixture(params=["dict", "dense"])
+def backend(request):
+    """Run the whole harness under both solver substrates.
+
+    The dense backend is a representation change with a byte-identity
+    contract, so every metamorphic property that holds for the dict reference
+    must hold verbatim for it.
+    """
+    return request.param
+
+
 def _network_for(seed: int):
     return random_geometric_network(num_nodes=80, extent=2000.0, seed=seed)
 
@@ -63,9 +74,10 @@ def _random_weights(network, seed: int, fraction: float = 0.5) -> Dict[int, floa
     }
 
 
-def _instance(network, weights, delta, region=None) -> ProblemInstance:
+def _instance(network, weights, delta, region=None, backend="dict") -> ProblemInstance:
     query = LCMSRQuery.create(["kw"], delta=delta, region=region)
-    return build_instance(network, query, node_weights=weights)
+    instance = build_instance(network, query, node_weights=weights)
+    return instance.with_backend(backend)
 
 
 def _keyword_assignment(network, seed: int) -> Dict[int, List[str]]:
@@ -97,7 +109,7 @@ def _match_weights(
 
 class TestBudgetMonotonicity:
     @pytest.mark.parametrize("seed", SEEDS)
-    def test_exact_is_monotone_in_delta(self, seed):
+    def test_exact_is_monotone_in_delta(self, seed, backend):
         # Tiny instances: Exact enumerates, so the window must stay small.
         network = grid_network(4, 4, spacing=100.0, jitter=15.0,
                                rng=random.Random(seed))
@@ -105,7 +117,7 @@ class TestBudgetMonotonicity:
         solver = ExactSolver(max_nodes=16)
         previous = -1.0
         for delta in (120.0, 250.0, 450.0, 800.0):
-            score = solver.solve(_instance(network, weights, delta)).weight
+            score = solver.solve(_instance(network, weights, delta, backend=backend)).weight
             assert score >= previous - 1e-12, (
                 f"Exact got worse with a larger budget at delta={delta}"
             )
@@ -114,13 +126,13 @@ class TestBudgetMonotonicity:
     @pytest.mark.parametrize("seed", SEEDS)
     @pytest.mark.parametrize("make_solver", [GreedySolver, TGENSolver],
                              ids=["greedy", "tgen"])
-    def test_heuristics_are_monotone_in_delta(self, seed, make_solver):
+    def test_heuristics_are_monotone_in_delta(self, seed, make_solver, backend):
         network = _network_for(seed)
         weights = _random_weights(network, seed)
         solver = make_solver()
         previous = -1.0
         for delta in DELTAS:
-            score = solver.solve(_instance(network, weights, delta)).weight
+            score = solver.solve(_instance(network, weights, delta, backend=backend)).weight
             assert score >= previous - 1e-9, (
                 f"{solver.__class__.__name__} got worse with a larger budget "
                 f"at delta={delta} (seed {seed})"
@@ -128,12 +140,12 @@ class TestBudgetMonotonicity:
             previous = score
 
     @pytest.mark.parametrize("seed", SEEDS)
-    def test_app_is_monotone_up_to_its_guarantee(self, seed):
+    def test_app_is_monotone_up_to_its_guarantee(self, seed, backend):
         network = _network_for(seed)
         weights = _random_weights(network, seed)
         solver = APPSolver()
         scores = [
-            solver.solve(_instance(network, weights, delta)).weight
+            solver.solve(_instance(network, weights, delta, backend=backend)).weight
             for delta in DELTAS
         ]
         for smaller, larger in zip(scores, scores[1:]):
@@ -144,39 +156,43 @@ class TestBudgetMonotonicity:
 
 class TestKeywordMonotonicity:
     @pytest.mark.parametrize("seed", SEEDS)
-    def test_removing_a_keyword_never_increases_the_optimum(self, seed):
+    def test_removing_a_keyword_never_increases_the_optimum(self, seed, backend):
         network = grid_network(4, 4, spacing=100.0, jitter=10.0,
                                rng=random.Random(seed + 100))
         assignment = _keyword_assignment(network, seed)
         solver = ExactSolver(max_nodes=16)
         keywords = list(KEYWORD_POOL)
         full = solver.solve(
-            _instance(network, _match_weights(assignment, keywords), 500.0)
+            _instance(network, _match_weights(assignment, keywords), 500.0,
+                      backend=backend)
         ).weight
         for removed in keywords:
             reduced_keywords = [k for k in keywords if k != removed]
             reduced = solver.solve(
-                _instance(network, _match_weights(assignment, reduced_keywords), 500.0)
+                _instance(network, _match_weights(assignment, reduced_keywords), 500.0,
+                          backend=backend)
             ).weight
             assert reduced <= full + 1e-12, (
                 f"dropping keyword {removed!r} increased the optimal score"
             )
 
     @pytest.mark.parametrize("seed", SEEDS)
-    def test_heuristics_never_beat_full_keyword_exact_optimum(self, seed):
+    def test_heuristics_never_beat_full_keyword_exact_optimum(self, seed, backend):
         # The heuristics run on pointwise-smaller weights, so even they can never
         # exceed the full-keyword-set *exact* optimum.
         network = grid_network(4, 4, spacing=100.0, jitter=10.0,
                                rng=random.Random(seed + 200))
         assignment = _keyword_assignment(network, seed)
         optimum = ExactSolver(max_nodes=16).solve(
-            _instance(network, _match_weights(assignment, KEYWORD_POOL), 500.0)
+            _instance(network, _match_weights(assignment, KEYWORD_POOL), 500.0,
+                      backend=backend)
         ).weight
         for solver in (GreedySolver(), TGENSolver(), APPSolver()):
             for removed in KEYWORD_POOL[:2]:
                 reduced_keywords = [k for k in KEYWORD_POOL if k != removed]
                 score = solver.solve(
-                    _instance(network, _match_weights(assignment, reduced_keywords), 500.0)
+                    _instance(network, _match_weights(assignment, reduced_keywords),
+                              500.0, backend=backend)
                 ).weight
                 assert score <= optimum + 1e-9
 
@@ -188,12 +204,14 @@ class TestFeasibilityInvariants:
         [GreedySolver, TGENSolver, APPSolver],
         ids=["greedy", "tgen", "app"],
     )
-    def test_regions_respect_budget_window_and_connectivity(self, seed, make_solver):
+    def test_regions_respect_budget_window_and_connectivity(self, seed, make_solver,
+                                                            backend):
         network = _network_for(seed)
         weights = _random_weights(network, seed)
         window = Rectangle(200.0, 200.0, 1700.0, 1700.0)
         for delta in (400.0, 900.0):
-            instance = _instance(network, weights, delta, region=window)
+            instance = _instance(network, weights, delta, region=window,
+                                 backend=backend)
             result = make_solver().solve(instance)
             region = result.region
             if region.is_empty:
@@ -227,12 +245,12 @@ class TestFeasibilityInvariants:
             assert seen == set(region.nodes), "returned region is not connected"
 
     @pytest.mark.parametrize("seed", SEEDS)
-    def test_exact_invariants_on_tiny_windows(self, seed):
+    def test_exact_invariants_on_tiny_windows(self, seed, backend):
         network = grid_network(4, 4, spacing=100.0, jitter=15.0,
                                rng=random.Random(seed + 300))
         weights = _random_weights(network, seed, fraction=0.7)
         delta = 350.0
-        instance = _instance(network, weights, delta)
+        instance = _instance(network, weights, delta, backend=backend)
         result = ExactSolver(max_nodes=16).solve(instance)
         if not result.region.is_empty:
             assert result.region.length <= delta + 1e-9
@@ -264,8 +282,14 @@ class TestBackendIdentity:
                 dict_instance = build_instance(network, query, node_weights=weights)
                 csr_instance = build_instance(frozen, query, node_weights=weights)
                 for solver in (GreedySolver(), TGENSolver(), APPSolver()):
+                    reference = solver.solve(dict_instance)
+                    self._assert_same(reference, solver.solve(csr_instance))
+                    # The dense substrate must coincide on BOTH graph backends.
                     self._assert_same(
-                        solver.solve(dict_instance), solver.solve(csr_instance)
+                        reference, solver.solve(dict_instance.with_backend("dense"))
+                    )
+                    self._assert_same(
+                        reference, solver.solve(csr_instance.with_backend("dense"))
                     )
 
     @pytest.mark.parametrize("seed", SEEDS)
@@ -278,7 +302,11 @@ class TestBackendIdentity:
         csr_instance = build_instance(frozen, query, node_weights=weights)
         for solver in (GreedySolver(), TGENSolver()):
             topk_dict = solver.solve_topk(dict_instance, k=3)
-            topk_csr = solver.solve_topk(csr_instance, k=3)
-            assert len(topk_dict.results) == len(topk_csr.results)
-            for result_d, result_c in zip(topk_dict.results, topk_csr.results):
-                self._assert_same(result_d, result_c)
+            for other in (
+                solver.solve_topk(csr_instance, k=3),
+                solver.solve_topk(dict_instance.with_backend("dense"), k=3),
+                solver.solve_topk(csr_instance.with_backend("dense"), k=3),
+            ):
+                assert len(topk_dict.results) == len(other.results)
+                for result_d, result_c in zip(topk_dict.results, other.results):
+                    self._assert_same(result_d, result_c)

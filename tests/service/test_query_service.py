@@ -12,6 +12,7 @@ import threading
 import pytest
 
 from repro import LCMSREngine, QueryRequest, QueryService, Rectangle
+from repro.core.dense import DenseInstance
 from repro.core.result import TopKResult
 from repro.evaluation import format_query_timings, format_service_stats
 from repro.exceptions import QueryError
@@ -191,12 +192,19 @@ class TestCaching:
             service.execute(QueryRequest.create(["restaurant"], 1000.0))
             service.execute(QueryRequest.create(["cafe"], 1000.0))
             # Two distinct window-less keyword sets must not pin two full
-            # network copies: every cached instance shares the engine's frozen
-            # graph view (the bundle's CSR snapshot).
+            # network copies: every cached entry shares the engine's frozen
+            # graph view (the bundle's CSR snapshot). On the pipeline hot path
+            # the cache stores DenseInstance substrates, whose graph view is
+            # the window snapshot itself.
             cache = service._instance_cache
             assert len(cache) == 2
             for key in cache.keys():
-                assert cache.get(key).graph is engine.graph_view
+                entry = cache.get(key)
+                graph = (
+                    entry.graph_view() if isinstance(entry, DenseInstance)
+                    else entry.graph
+                )
+                assert graph is engine.graph_view
 
     def test_reporting_renders(self, engine):
         with QueryService(engine, max_workers=1) as service:
