@@ -1,11 +1,18 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test docs-check compile-check bench-service bench bench-smoke bench-json artifact-smoke
+.PHONY: test test-parity docs-check compile-check bench-service bench bench-smoke bench-json artifact-smoke
 
 # Tier-1 suite (includes the docs link/section check).
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Just the byte-identity parity suites: solver backend (dict vs dense) and
+# bound-based pruning (on vs off). The fast gate to run after touching a
+# solver hot loop or a skip branch.
+test-parity:
+	$(PYTHON) -m pytest tests/core/test_solver_backend_parity.py \
+		tests/core/test_pruning_parity.py tests/core/test_backend_parity.py -q
 
 # Fail on broken intra-repo doc links or missing README sections.
 docs-check:
@@ -33,16 +40,19 @@ bench-smoke:
 	REPRO_BENCH_SMOKE=1 timeout 1200 $(PYTHON) -m pytest benchmarks/ -q \
 		-o python_files="bench_*.py"
 
-# Record the perf numbers of the two refactor benchmarks as JSON — the
-# columnar scoring pipeline (BENCH_scoring.json, bench_scoring.py) and the
-# dense solver substrate (BENCH_solver.json, bench_solver_backend.py) — so the
-# repo's performance trajectory is captured run over run. Runs at the default
-# benchmark scale.
+# Record the perf numbers of the refactor benchmarks as JSON — the columnar
+# scoring pipeline (BENCH_scoring.json, bench_scoring.py), the dense solver
+# substrate (BENCH_solver.json, bench_solver_backend.py) and the bound-based
+# pruning subsystem (BENCH_pruning.json, bench_pruning.py, including the
+# skip/visit counters) — so the repo's performance trajectory is captured run
+# over run. Runs at the default benchmark scale.
 bench-json:
 	REPRO_BENCH_JSON=BENCH_scoring.json $(PYTHON) -m pytest \
 		benchmarks/bench_scoring.py -q -s -o python_files="bench_*.py"
 	REPRO_BENCH_JSON=BENCH_solver.json $(PYTHON) -m pytest \
 		benchmarks/bench_solver_backend.py -q -s -o python_files="bench_*.py"
+	REPRO_BENCH_JSON=BENCH_pruning.json $(PYTHON) -m pytest \
+		benchmarks/bench_pruning.py -q -s -o python_files="bench_*.py"
 
 # End-to-end artifact gate through the CLI: build a small artifact, verify and
 # reload it, and answer one query per solver (exact gets a small window so its

@@ -128,7 +128,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
 def _cmd_query(args: argparse.Namespace) -> int:
     from repro.engine import LCMSREngine
 
-    engine = LCMSREngine.from_artifact(args.artifact)
+    engine = LCMSREngine.from_artifact(args.artifact, pruning=args.pruning)
     keywords = _parse_keywords(args.keywords)
     region = _parse_region(args.region)
     if args.k > 1:
@@ -180,7 +180,7 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
         raise QueryError(f"--repeat must be >= 1, got {args.repeat}")
     if args.requests is None and args.synthesize < 1:
         raise QueryError(f"--synthesize must be >= 1, got {args.synthesize}")
-    engine = LCMSREngine.from_artifact(args.artifact)
+    engine = LCMSREngine.from_artifact(args.artifact, pruning=args.pruning)
     if args.requests is not None:
         requests = []
         for line_number, line in enumerate(
@@ -268,6 +268,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="solver (engine default: tgen)",
     )
     query.add_argument("-k", type=int, default=1, help="return the top-k regions")
+    query.add_argument(
+        "--pruning", choices=("auto", "on", "off"), default="auto",
+        help="bound-based pruning policy; results are byte-identical either "
+        "way, 'off' forces the unpruned reference paths",
+    )
     query.set_defaults(func=_cmd_query)
 
     serve = subparsers.add_parser(
@@ -287,6 +292,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--seed", type=int, default=7, help="seed for synthesized queries")
     serve.add_argument("--workers", type=int, default=4)
     serve.add_argument("--repeat", type=int, default=1, help="run the batch this many times")
+    serve.add_argument(
+        "--pruning", choices=("auto", "on", "off"), default="auto",
+        help="bound-based pruning policy; results are byte-identical either "
+        "way, 'off' forces the unpruned reference paths",
+    )
     serve.set_defaults(func=_cmd_serve_batch)
     return parser
 

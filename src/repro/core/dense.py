@@ -253,7 +253,9 @@ class DenseInstance:
         sigma = self.sigma_list()
         return {ids[pos]: sigma[pos] for pos in self.relevant_order.tolist()}
 
-    def to_problem_instance(self, query: "LCMSRQuery") -> "ProblemInstance":
+    def to_problem_instance(
+        self, query: "LCMSRQuery", pruning: str = "auto"
+    ) -> "ProblemInstance":
         """Wrap the substrate into a full :class:`ProblemInstance` for ``query``.
 
         The weight dict is materialised lazily on first access; the Greedy and
@@ -270,6 +272,7 @@ class DenseInstance:
             query=query,
             build_seconds=0.0,
             dense=self,
+            pruning=pruning,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper

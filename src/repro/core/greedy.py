@@ -29,7 +29,7 @@ scan selects the same attachment, bit for bit, as the dict loops.
 from __future__ import annotations
 
 import time
-from typing import List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -69,14 +69,20 @@ class GreedySolver:
         """
         start = time.perf_counter()
         dense = instance.dense_view()
+        prune_stats: Dict[str, float] = {}
         if dense is not None:
             region = self._grow_dense(
-                dense, instance.query.delta, bytearray(dense.num_nodes)
+                dense,
+                instance.query.delta,
+                bytearray(dense.num_nodes),
+                pruning=instance.pruning_enabled,
+                stats=prune_stats,
             )
         else:
             region = self._grow(instance, excluded=set())
         runtime = time.perf_counter() - start
         stats = {"nodes_expanded": float(region.num_nodes)} if region else {}
+        stats.update(prune_stats)
         return RegionResult(region or Region.empty(), self.name, runtime, stats=stats)
 
     def solve_topk(self, instance: ProblemInstance, k: Optional[int] = None) -> TopKResult:
@@ -94,11 +100,18 @@ class GreedySolver:
         k = k or instance.query.k
         dense = instance.dense_view()
         results: List[RegionResult] = []
+        prune_stats: Dict[str, float] = {}
         if dense is not None:
             excluded_mask = bytearray(dense.num_nodes)
             position_of = dense.position_of()
             for _ in range(k):
-                region = self._grow_dense(dense, instance.query.delta, excluded_mask)
+                region = self._grow_dense(
+                    dense,
+                    instance.query.delta,
+                    excluded_mask,
+                    pruning=instance.pruning_enabled,
+                    stats=prune_stats,
+                )
                 if region is None or region.is_empty:
                     break
                 results.append(RegionResult(region, self.name))
@@ -116,7 +129,7 @@ class GreedySolver:
         results = [
             RegionResult(r.region, self.name, runtime, stats=r.stats) for r in results
         ]
-        return TopKResult(results, self.name, runtime)
+        return TopKResult(results, self.name, runtime, stats=prune_stats)
 
     # ------------------------------------------------------------------ expansion
     def _grow(self, instance: ProblemInstance, excluded: Set[int]) -> Optional[Region]:
@@ -177,7 +190,12 @@ class GreedySolver:
         )
 
     def _grow_dense(
-        self, dense: DenseInstance, delta: float, excluded: bytearray
+        self,
+        dense: DenseInstance,
+        delta: float,
+        excluded: bytearray,
+        pruning: bool = False,
+        stats: Optional[Dict[str, float]] = None,
     ) -> Optional[Region]:
         """Array-first twin of :meth:`_grow` over local node positions.
 
@@ -189,6 +207,15 @@ class GreedySolver:
         dict loop's member-insertion × neighbour-row order and the rank
         arithmetic keeps the reference expression tree, so the selected
         attachment is identical, bit for bit.
+
+        With ``pruning`` enabled the table is periodically *compacted*: entries
+        that are permanently dead — their target already joined the region or is
+        excluded, or the (monotonically growing) used length can no longer admit
+        their edge — are dropped once they make up over half the table. The
+        reference scan merely ``continue``s over exactly those entries, and the
+        survivors keep their order, so the selected attachment is unchanged.
+        ``stats`` (when given) accumulates the ``greedy_candidates_scanned`` /
+        ``greedy_candidates_compacted`` counters.
         """
         sigma = dense.sigma
         relevant = dense.relevant_order
@@ -221,6 +248,8 @@ class GreedySolver:
         region_order: List[int] = [seed]
         region_edges: List[Tuple[int, int]] = []
         total_length = 0.0
+        scanned = 0
+        compacted = 0
 
         # Flat candidate table, appended to as members join (see docstring).
         cand_pos: List[int] = []
@@ -247,11 +276,14 @@ class GreedySolver:
             best_slot = -1
             best_rank = 0.0
             best_id = -1
+            dead = 0
             for slot in range(len(cand_pos)):
                 position = cand_pos[slot]
                 if in_region[position] or excluded[position]:
+                    dead += 1
                     continue
                 if total_length + cand_length[slot] > delta_eps:
+                    dead += 1
                     continue
                 rank = cand_rank[slot]
                 if best_slot < 0 or rank > best_rank or (
@@ -260,6 +292,7 @@ class GreedySolver:
                     best_slot = slot
                     best_rank = rank
                     best_id = cand_id[slot]
+            scanned += len(cand_pos)
             if best_slot < 0:
                 break
             neighbor = cand_pos[best_slot]
@@ -269,6 +302,35 @@ class GreedySolver:
             total_length += cand_length[best_slot]
             member = neighbor
 
+            if pruning and dead * 2 > len(cand_pos) and len(cand_pos) > 64:
+                # Compact the table, re-evaluating deadness against the *post-
+                # selection* state (in_region just grew, total_length just
+                # rose): every dropped entry is one the reference scan would
+                # forever skip, and survivors keep their relative order, so
+                # future selections are bit-identical.
+                keep = [
+                    slot
+                    for slot in range(len(cand_pos))
+                    if not (
+                        in_region[cand_pos[slot]]
+                        or excluded[cand_pos[slot]]
+                        or total_length + cand_length[slot] > delta_eps
+                    )
+                ]
+                compacted += len(cand_pos) - len(keep)
+                cand_pos = [cand_pos[slot] for slot in keep]
+                cand_member = [cand_member[slot] for slot in keep]
+                cand_length = [cand_length[slot] for slot in keep]
+                cand_rank = [cand_rank[slot] for slot in keep]
+                cand_id = [cand_id[slot] for slot in keep]
+
+        if stats is not None:
+            stats["greedy_candidates_scanned"] = (
+                stats.get("greedy_candidates_scanned", 0.0) + scanned
+            )
+            stats["greedy_candidates_compacted"] = (
+                stats.get("greedy_candidates_compacted", 0.0) + compacted
+            )
         weight_total = sum(sigma_list[pos] for pos in region_order)
         return Region(
             nodes=frozenset(ids_list[pos] for pos in region_order),

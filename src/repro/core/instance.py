@@ -41,6 +41,16 @@ from repro.textindex.relevance import RelevanceScorer
 SOLVER_BACKENDS = ("auto", "dense", "dict")
 """The valid ``solver_backend`` selectors (shared by every validation site)."""
 
+PRUNING_POLICIES = ("auto", "on", "off")
+"""The valid ``pruning`` policy selectors (shared by every validation site).
+
+``"auto"`` and ``"on"`` both enable bound-based skipping (there is currently no
+heuristic that would make them differ — ``"auto"`` is the forward-compatible
+default); ``"off"`` forces the unpruned reference paths. Pruning only ever
+licences skips of provably irrelevant work, so results are byte-identical under
+every policy (``tests/core/test_pruning_parity.py`` enforces this).
+"""
+
 
 class ProblemInstance:
     """The windowed, weighted graph a solver consumes.
@@ -65,6 +75,9 @@ class ProblemInstance:
             when only the dict view exists (use :meth:`ensure_dense` to build it).
         solver_backend: ``"auto"`` / ``"dense"`` / ``"dict"`` — which view the
             solvers consume (see the module docstring).
+        pruning: ``"auto"`` / ``"on"`` / ``"off"`` — whether solvers may take
+            bound-licensed skips (see :data:`PRUNING_POLICIES`); results are
+            byte-identical either way.
 
     Instances are immutable by contract: neither view nor the derived aggregates
     are ever invalidated.
@@ -78,6 +91,7 @@ class ProblemInstance:
         build_seconds: float = 0.0,
         dense: Optional[DenseInstance] = None,
         solver_backend: str = "auto",
+        pruning: str = "auto",
     ) -> None:
         if weights is None and dense is None:
             raise QueryError("a ProblemInstance needs weights, a dense substrate, or both")
@@ -87,11 +101,16 @@ class ProblemInstance:
             raise QueryError(
                 f"solver_backend must be one of {SOLVER_BACKENDS}, got {solver_backend!r}"
             )
+        if pruning not in PRUNING_POLICIES:
+            raise QueryError(
+                f"pruning must be one of {PRUNING_POLICIES}, got {pruning!r}"
+            )
         self.graph = graph
         self.query = query
         self.build_seconds = build_seconds
         self.dense = dense
         self.solver_backend = solver_backend
+        self.pruning = pruning
         self._weights = weights
         # Derived aggregates, computed once on demand (instances are immutable).
         self._sigma_max: Optional[float] = None
@@ -142,6 +161,7 @@ class ProblemInstance:
             build_seconds=self.build_seconds,
             dense=self.dense,
             solver_backend=solver_backend,
+            pruning=self.pruning,
         )
         if solver_backend == "dense":
             sibling.ensure_dense()
@@ -149,6 +169,27 @@ class ProblemInstance:
             if self.dense is None:
                 self.dense = sibling.dense
         return sibling
+
+    def with_pruning(self, pruning: str) -> "ProblemInstance":
+        """Return a sibling instance sharing every view but pinned to a pruning policy.
+
+        Like :meth:`with_backend`, nothing is copied — the benchmark and the
+        parity suite use this to solve one built instance pruned and unpruned.
+        """
+        return ProblemInstance(
+            graph=self.graph,
+            weights=self._weights,
+            query=self.query,
+            build_seconds=self.build_seconds,
+            dense=self.dense,
+            solver_backend=self.solver_backend,
+            pruning=pruning,
+        )
+
+    @property
+    def pruning_enabled(self) -> bool:
+        """Whether solvers may take bound-licensed skips (``"auto"`` resolves to yes)."""
+        return self.pruning != "off"
 
     # ------------------------------------------------------------------ derived facts
     @property
@@ -211,6 +252,7 @@ class ProblemInstance:
             query=self.query,
             build_seconds=self.build_seconds,
             solver_backend=self.solver_backend,
+            pruning=self.pruning,
         )
 
 
@@ -222,6 +264,7 @@ def build_instance(
     scorer: Optional[RelevanceScorer] = None,
     node_weights: Optional[Mapping[int, float]] = None,
     pipeline: Optional[WeightPipeline] = None,
+    pruning: str = "auto",
 ) -> ProblemInstance:
     """Build the solver input for ``query`` over ``network``.
 
@@ -241,6 +284,12 @@ def build_instance(
       cross-checks); or
     * ``node_weights`` — explicit per-node weights (unit tests, Figure 2 example,
       rating-based scoring computed by the caller).
+
+    ``pruning`` selects the instance's bound-based skipping policy (see
+    :data:`PRUNING_POLICIES`). On the pipeline path with a windowed query it
+    additionally enables the builder's own skip: when the window's admissible
+    σ-mass bound is exactly zero, the σ computation is bypassed entirely (the
+    window graph is still built identically).
 
     Returns:
         The :class:`ProblemInstance` restricted to ``Q.Λ``.
@@ -273,12 +322,26 @@ def build_instance(
 
     weights: Dict[int, float]
     if pipeline is not None:
-        # The pipeline restricts nodes to the window with one vectorised
-        # coordinate comparison (a mapped node lies in the window graph exactly
-        # when its coordinates lie in Q.Λ) — no per-query node-id set needed.
-        weights = pipeline.node_weights(
-            query.keywords, window=query.region, node_window=query.region
-        )
+        if (
+            pruning != "off"
+            and query.region is not None
+            and pipeline.bounds.window_mass_bound(query.region) == 0.0
+        ):
+            # Zero-σ-mass window skip: the covering cells' mass bound is exactly
+            # 0.0 only when every mapped object the window could select has a
+            # zero score potential, i.e. the reference computation would return
+            # no positive node sums. The window graph is built identically — the
+            # skip drops only the σ computation, so |VQ| (and hence TGEN's θ
+            # scaling) is untouched and results stay byte-identical.
+            weights = {}
+        else:
+            # The pipeline restricts nodes to the window with one vectorised
+            # coordinate comparison (a mapped node lies in the window graph
+            # exactly when its coordinates lie in Q.Λ) — no per-query node-id
+            # set needed.
+            weights = pipeline.node_weights(
+                query.keywords, window=query.region, node_window=query.region
+            )
         dense: Optional[DenseInstance] = None
         if isinstance(window_graph, CompactNetwork):
             dense = DenseInstance.from_graph(window_graph, weights)
@@ -289,6 +352,7 @@ def build_instance(
             query=query,
             build_seconds=build_seconds,
             dense=dense,
+            pruning=pruning,
         )
 
     window_nodes = set(window_graph.node_ids())
@@ -321,5 +385,9 @@ def build_instance(
         )
     build_seconds = time.perf_counter() - start
     return ProblemInstance(
-        graph=window_graph, weights=weights, query=query, build_seconds=build_seconds
+        graph=window_graph,
+        weights=weights,
+        query=query,
+        build_seconds=build_seconds,
+        pruning=pruning,
     )

@@ -55,11 +55,15 @@ class TopKResult:
             fewer than k entries when the window does not hold k distinct regions).
         algorithm: Name of the solver.
         runtime_seconds: Wall-clock solve time for the whole top-k computation.
+        stats: Free-form solver statistics for the whole top-k computation
+            (skip/visit counters from bound-based pruning, ...). Values are
+            numbers so results can be tabulated directly.
     """
 
     results: Sequence[RegionResult]
     algorithm: str
     runtime_seconds: float = 0.0
+    stats: Dict[str, float] = field(default_factory=dict)
 
     def __len__(self) -> int:
         return len(self.results)

@@ -229,6 +229,19 @@ class TGENSolver:
         keys instead of id-keyed sets, and per-edge tuple combinations are
         prefiltered by a vectorised feasibility mask ``(l_i + l_j) + τ ≤ Q.∆``
         that enumerates surviving pairs in the reference (i-major) order.
+
+        When the instance allows pruning (and no top-k pool is collected — the
+        pool deliberately admits zero-scaled tuples), an edge is skipped whole
+        once the incumbent has positive scaled weight and *both* endpoint
+        arrays hold only zero-scaled tuples: every combination such an edge can
+        generate has scaled weight 0 (tuple scaled weights are sums of member
+        scaled weights), cannot beat the incumbent, and cannot displace any
+        stored tuple (each member of a zero-scaled tuple is itself zero-scaled,
+        so its array's key-0 slot holds the length-0 singleton, which a
+        positive-length combination never beats). ``max_scaled`` tracks a
+        monotone per-position upper bound on each array's largest key — it is
+        not lowered on eviction, which only forgoes skips, never unsoundly
+        takes one.
         """
         stats: Dict[str, float] = {}
         delta = instance.query.delta
@@ -265,8 +278,14 @@ class TGENSolver:
         visited_edges: Set[int] = set()
         visited = bytearray(n)
         edges_processed = 0
+        edges_skipped = 0
         tuples_generated = 0
         max_tuples = self.max_tuples_per_node
+        prune = instance.pruning_enabled and not collect_pool
+        position_of = dense.position_of() if prune else None
+        # Per-position upper bound on the largest scaled key stored in the
+        # node's array (exact until an eviction, stale-high after — safe).
+        max_scaled: List[int] = list(scaled_list) if prune else []
 
         # Traversal seeds: every node, relevant (weighted) nodes first — the
         # position-space equivalent of _start_nodes' sort by (-σ_v, node id).
@@ -296,6 +315,15 @@ class TGENSolver:
                         queue.append(vj)
                     edge_length = lengths[slot]
                     if edge_length > delta:
+                        continue
+                    if (
+                        prune
+                        and best is not None
+                        and best.scaled_weight > 0
+                        and max_scaled[vi] == 0
+                        and max_scaled[vj] == 0
+                    ):
+                        edges_skipped += 1
                         continue
                     edges_processed += 1
                     vj_id = ids_list[vj]
@@ -382,11 +410,16 @@ class TGENSolver:
                                             | {edge_pair},
                                         )
                                     entries[scaled] = combined
+                                    if prune:
+                                        p = position_of[member]
+                                        if scaled > max_scaled[p]:
+                                            max_scaled[p] = scaled
                                     if max_tuples is not None and len(entries) > max_tuples:
                                         _evict_worst(array, max_tuples)
                 processed_nodes.add(vi_id)
         stats["tuples_generated"] = float(tuples_generated)
         stats["edges_processed"] = float(edges_processed)
+        stats["edges_skipped"] = float(edges_skipped)
         return best, pool, stats
 
     # ------------------------------------------------------------------ helpers

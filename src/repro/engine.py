@@ -20,7 +20,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 from repro.core.app import APPSolver
 from repro.core.exact import ExactSolver
 from repro.core.greedy import GreedySolver
-from repro.core.instance import ProblemInstance, build_instance
+from repro.core.instance import PRUNING_POLICIES, ProblemInstance, build_instance
 from repro.core.query import LCMSRQuery
 from repro.core.result import RegionResult, TopKResult
 from repro.core.tgen import TGENSolver
@@ -75,10 +75,13 @@ class LCMSREngine:
             ``"app"`` (the (5 + ε)-approximation with a quality guarantee),
             ``"greedy"`` (fastest, no guarantee) or ``"exact"`` (brute-force
             oracle, tiny windows only).
+        pruning: Bound-based pruning policy — ``"auto"`` (default), ``"on"`` or
+            ``"off"`` (see :data:`~repro.core.instance.PRUNING_POLICIES`);
+            results are byte-identical under every policy.
 
     Raises:
-        QueryError: If ``grid_resolution`` is not a positive integer or
-            ``default_algorithm`` is unknown.
+        QueryError: If ``grid_resolution`` is not a positive integer,
+            ``default_algorithm`` is unknown, or ``pruning`` is unknown.
     """
 
     def __init__(
@@ -88,6 +91,7 @@ class LCMSREngine:
         grid_resolution: int = 48,
         scoring_mode: ScoringMode = ScoringMode.TEXT_RELEVANCE,
         default_algorithm: str = "tgen",
+        pruning: str = "auto",
     ) -> None:
         # Fail fast on configuration errors before paying for the index build:
         # the solver registry is cheap, so it is built (and the default name
@@ -103,23 +107,32 @@ class LCMSREngine:
         bundle = IndexBundle.build(
             network, corpus, grid_resolution=grid_resolution, scoring_mode=scoring_mode
         )
-        self._attach(bundle, solvers, default_algorithm)
+        self._attach(bundle, solvers, default_algorithm, pruning)
 
     def _attach(
         self,
         bundle: IndexBundle,
         solvers: Dict[str, SolverUnion],
         default_algorithm: str,
+        pruning: str = "auto",
     ) -> None:
+        if pruning not in PRUNING_POLICIES:
+            raise QueryError(
+                f"pruning must be one of {PRUNING_POLICIES}, got {pruning!r}"
+            )
         self._bundle = bundle
         self._default_algorithm = default_algorithm.lower()
         self._solvers = solvers
         self._solver_generation = 0
         self._solver_lock = threading.Lock()
+        self._pruning = pruning
 
     @classmethod
     def from_bundle(
-        cls, bundle: IndexBundle, default_algorithm: str = "tgen"
+        cls,
+        bundle: IndexBundle,
+        default_algorithm: str = "tgen",
+        pruning: str = "auto",
     ) -> "LCMSREngine":
         """Create an engine over an already-built index bundle.
 
@@ -130,12 +143,14 @@ class LCMSREngine:
         Args:
             bundle: The prebuilt index state.
             default_algorithm: Algorithm used when a query does not name one.
+            pruning: Bound-based pruning policy for the instances the engine
+                builds (see :data:`~repro.core.instance.PRUNING_POLICIES`).
 
         Returns:
             An engine serving queries from the shared bundle.
 
         Raises:
-            QueryError: If ``default_algorithm`` is unknown.
+            QueryError: If ``default_algorithm`` or ``pruning`` is unknown.
         """
         solvers = _default_solvers()
         if default_algorithm.lower() not in solvers:
@@ -144,7 +159,7 @@ class LCMSREngine:
                 f"known: {sorted(solvers)}"
             )
         engine = cls.__new__(cls)
-        engine._attach(bundle, solvers, default_algorithm)
+        engine._attach(bundle, solvers, default_algorithm, pruning)
         return engine
 
     @classmethod
@@ -154,6 +169,7 @@ class LCMSREngine:
         default_algorithm: str = "tgen",
         mmap: bool = True,
         verify: bool = True,
+        pruning: str = "auto",
     ) -> "LCMSREngine":
         """Create an engine from a persisted index artifact — no offline build.
 
@@ -167,6 +183,8 @@ class LCMSREngine:
             default_algorithm: Algorithm used when a query does not name one.
             mmap: Memory-map the network arrays (default) or load them eagerly.
             verify: Verify artifact checksums before loading.
+            pruning: Bound-based pruning policy for the instances the engine
+                builds (see :data:`~repro.core.instance.PRUNING_POLICIES`).
 
         Returns:
             An engine serving queries from the loaded bundle.
@@ -174,10 +192,12 @@ class LCMSREngine:
         Raises:
             ArtifactError: If the artifact is missing, corrupt or written by an
                 unsupported format version.
-            QueryError: If ``default_algorithm`` is unknown.
+            QueryError: If ``default_algorithm`` or ``pruning`` is unknown.
         """
         bundle = IndexBundle.load(path, mmap=mmap, verify=verify)
-        return cls.from_bundle(bundle, default_algorithm=default_algorithm)
+        return cls.from_bundle(
+            bundle, default_algorithm=default_algorithm, pruning=pruning
+        )
 
     # ------------------------------------------------------------------ configuration
     @property
@@ -229,6 +249,16 @@ class LCMSREngine:
     def default_algorithm(self) -> str:
         """The solver name used when a query does not specify one."""
         return self._default_algorithm
+
+    @property
+    def pruning(self) -> str:
+        """The bound-based pruning policy instances are built with.
+
+        ``"auto"`` / ``"on"`` let solvers take bound-licensed skips, ``"off"``
+        forces the unpruned reference paths; results are byte-identical either
+        way (see :data:`~repro.core.instance.PRUNING_POLICIES`).
+        """
+        return self._pruning
 
     @property
     def solver_generation(self) -> int:
@@ -304,13 +334,18 @@ class LCMSREngine:
         graph = self._bundle.graph_view()
         pipeline = self._bundle.weight_pipeline()
         if pipeline is not None:
-            return build_instance(graph, query, pipeline=pipeline)
+            return build_instance(
+                graph, query, pipeline=pipeline, pruning=self._pruning
+            )
         if self.scoring_mode is ScoringMode.TEXT_RELEVANCE:
             return build_instance(
-                graph, query, grid_index=self.grid, mapping=self.mapping
+                graph, query, grid_index=self.grid, mapping=self.mapping,
+                pruning=self._pruning,
             )
         # Rating / language-model scoring bypasses the TF-IDF postings.
-        return build_instance(graph, query, scorer=self._bundle.scorer)
+        return build_instance(
+            graph, query, scorer=self._bundle.scorer, pruning=self._pruning
+        )
 
     def query(
         self,

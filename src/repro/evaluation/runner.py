@@ -7,7 +7,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Protocol, Sequence, Union
 
-from repro.core.instance import SOLVER_BACKENDS, ProblemInstance, build_instance
+from repro.core.instance import (
+    PRUNING_POLICIES,
+    SOLVER_BACKENDS,
+    ProblemInstance,
+    build_instance,
+)
 from repro.core.query import LCMSRQuery
 from repro.core.result import RegionResult
 from repro.datasets.synthetic import SyntheticDataset
@@ -20,6 +25,14 @@ def _validated_solver_backend(solver_backend: Optional[str]) -> str:
     resolved = "auto" if solver_backend is None else solver_backend
     if resolved not in SOLVER_BACKENDS:
         raise ValueError(f"unknown solver backend {solver_backend!r}")
+    return resolved
+
+
+def _validated_pruning(pruning: Optional[str]) -> str:
+    """Normalise the runner's pruning-policy selector (``None`` → ``"auto"``)."""
+    resolved = "auto" if pruning is None else pruning
+    if resolved not in PRUNING_POLICIES:
+        raise ValueError(f"unknown pruning policy {pruning!r}")
     return resolved
 
 
@@ -102,6 +115,11 @@ class ExperimentRunner:
             even for scalar weight backends) and ``"dict"`` (force the
             reference loops). Both backends return byte-identical results; only
             the solver runtime differs.
+        pruning: Bound-based pruning policy the built instances carry. ``None``
+            (default) resolves to ``"auto"``; see
+            :data:`~repro.core.instance.PRUNING_POLICIES`. Results are
+            byte-identical under every policy; only skip counters and runtime
+            differ.
         artifact_cache_dir: Optional directory of persisted index artifacts (see
             :mod:`repro.service.persist`). When given, the runner keys the
             dataset by content fingerprint and publishes (or reuses) one on-disk
@@ -120,10 +138,12 @@ class ExperimentRunner:
         artifact_cache_dir: Optional[Union[str, Path]] = None,
         weight_backend: Optional[str] = None,
         solver_backend: Optional[str] = None,
+        pruning: Optional[str] = None,
     ) -> None:
         self._use_grid_index = use_grid_index
         self._weight_backend = weight_backend
         self._solver_backend = _validated_solver_backend(solver_backend)
+        self._pruning = _validated_pruning(pruning)
         if artifact_cache_dir is not None:
             from repro.service.persist import cached_dataset_bundle
 
@@ -159,6 +179,7 @@ class ExperimentRunner:
         use_grid_index: bool = True,
         weight_backend: Optional[str] = None,
         solver_backend: Optional[str] = None,
+        pruning: Optional[str] = None,
     ) -> "ExperimentRunner":
         """Create a runner over an existing bundle (e.g. one loaded from an artifact).
 
@@ -167,6 +188,7 @@ class ExperimentRunner:
             use_grid_index: As in the constructor.
             weight_backend: As in the constructor.
             solver_backend: As in the constructor.
+            pruning: As in the constructor.
 
         Returns:
             A runner that shares the bundle's indexes without any build work.
@@ -175,6 +197,7 @@ class ExperimentRunner:
         runner._use_grid_index = use_grid_index
         runner._weight_backend = weight_backend
         runner._solver_backend = _validated_solver_backend(solver_backend)
+        runner._pruning = _validated_pruning(pruning)
         runner._attach(bundle)
         return runner
 
@@ -193,11 +216,19 @@ class ExperimentRunner:
         """The solver substrate built instances request (``"auto"`` when unset)."""
         return self._solver_backend
 
+    @property
+    def pruning(self) -> str:
+        """The pruning policy built instances carry (``"auto"`` when unset)."""
+        return self._pruning
+
     def build(self, query: LCMSRQuery) -> ProblemInstance:
         """Build the solver input for one query."""
         if self._resolved_backend == "columnar":
             instance = build_instance(
-                self._graph, query, pipeline=self._bundle.weight_pipeline()
+                self._graph,
+                query,
+                pipeline=self._bundle.weight_pipeline(),
+                pruning=self._pruning,
             )
         elif self._resolved_backend == "grid":
             instance = build_instance(
@@ -205,9 +236,12 @@ class ExperimentRunner:
                 query,
                 grid_index=self._bundle.grid,
                 mapping=self._bundle.mapping,
+                pruning=self._pruning,
             )
         else:
-            instance = build_instance(self._graph, query, scorer=self._bundle.scorer)
+            instance = build_instance(
+                self._graph, query, scorer=self._bundle.scorer, pruning=self._pruning
+            )
         if self._solver_backend != "auto":
             instance = instance.with_backend(self._solver_backend)
         return instance

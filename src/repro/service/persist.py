@@ -80,13 +80,16 @@ from repro.textindex.columnar import (
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (bundle imports persist)
     from repro.service.bundle import IndexBundle
 
-FORMAT_VERSION = 2
+FORMAT_VERSION = 3
 """Current on-disk artifact format version (see the module docstring).
 
 Version history: 1 — network.npz + index.pkl + vocabulary.json; 2 — adds
 scoring.npz (the columnar scoring index) and the manifest's ``lm_smoothing``
-field. Loaders accept exactly the current version (no silent migration); version
-1 artifacts must be rebuilt with ``python -m repro build``.
+field; 3 — adds the per-cell bound aggregate columns to scoring.npz (the
+``bound_meta`` / ``*_cell`` / ``cell_*`` arrays backing
+:class:`repro.core.bounds.UpperBoundIndex`). Loaders accept exactly the current
+version (no silent migration); older artifacts must be rebuilt with
+``python -m repro build``.
 """
 
 MANIFEST_NAME = "manifest.json"

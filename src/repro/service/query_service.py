@@ -289,13 +289,20 @@ class QueryService:
         """
         cached = self._instance_cache.get(key)
         if cached is not None:
+            # Rebound instances carry the engine's pruning policy just like
+            # freshly built ones — cache hits and misses must solve identically.
             if isinstance(cached, DenseInstance):
-                return cached.to_problem_instance(query), True, 0.0
+                return (
+                    cached.to_problem_instance(query, pruning=self._engine.pruning),
+                    True,
+                    0.0,
+                )
             rebound = ProblemInstance(
                 graph=cached.graph,
                 weights=cached.weights,
                 query=query,
                 build_seconds=0.0,
+                pruning=self._engine.pruning,
             )
             return rebound, True, 0.0
         # Window-less instances already share the engine's graph view (the

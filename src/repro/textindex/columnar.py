@@ -56,6 +56,23 @@ from repro.textindex.vector_space import VectorSpaceModel, idf_weight
 DEFAULT_LM_SMOOTHING = 0.2
 """Smoothing λ the language-model columns are precomputed with by default."""
 
+BOUND_RESOLUTION = 16
+"""Side length of the square cell grid the bound aggregate columns are built on."""
+
+BOUND_GUARD = 1.0 + 1e-9
+"""Multiplicative guard applied to the per-object potentials before aggregation.
+
+The potentials are query-independent *upper bounds* on any query's per-object
+score; the closed forms are exact in real arithmetic but individual float steps
+(e.g. ``sqrt(sum(wto^2))`` vs the reference's normalised dot product) can land a
+couple of ulps apart. Inflating every nonzero potential by one part in 1e9 keeps
+the bounds admissible without disturbing exact zeros (0 * guard == 0), which is
+what the zero-mass skip tests rely on.
+"""
+
+BOUND_MODES: Tuple[str, ...] = ("text_relevance", "rating_if_match", "language_model")
+"""Row order of the per-mode bound aggregate matrices (``cell_sigma_*``)."""
+
 
 class ColumnarScoringIndex:
     """Frozen columnar layout of the corpus + mapping for vectorised scoring.
@@ -77,6 +94,13 @@ class ColumnarScoringIndex:
         obj_node_pos: Dense node-table position per object (-1 if unmapped).
         node_ids / node_x / node_y: Mapped-node table, mapping iteration order.
         node_indptr / node_rows: CSR node → object rows (ascending per node).
+        bound_meta: ``[resolution, min_x, min_y, cell_w, cell_h]`` of the bound
+            cell grid (float64).
+        obj_cell / node_cell: Row-major bound-grid cell per object / node (int32).
+        cell_sigma_mass / cell_sigma_max / cell_node_mass: Per-mode (rows follow
+            ``BOUND_MODES``) per-cell aggregates of the guarded score potentials.
+        cell_obj_count / cell_post_count: Mapped objects / their posting counts
+            per cell (int64).
     """
 
     def __init__(
@@ -218,6 +242,20 @@ class ColumnarScoringIndex:
         node_x = np.asarray([c[0] for c in coords], dtype=np.float64)
         node_y = np.asarray([c[1] for c in coords], dtype=np.float64)
 
+        bound_arrays = _bound_aggregate_arrays(
+            post_indptr=post_indptr,
+            post_rows=post_rows,
+            post_tfidf=post_tfidf,
+            lm_log_mixed=lm_log_mixed,
+            lm_log_base=lm_log_base,
+            obj_x=obj_x,
+            obj_y=obj_y,
+            obj_rating=obj_rating,
+            obj_node_pos=obj_node_pos,
+            node_x=node_x,
+            node_y=node_y,
+        )
+
         arrays = {
             "post_indptr": np.asarray(post_indptr, dtype=np.int32)
             if nnz <= np.iinfo(np.int32).max
@@ -238,6 +276,7 @@ class ColumnarScoringIndex:
             "node_indptr": np.asarray(node_indptr_list, dtype=np.int32),
             "node_rows": np.asarray(node_row_list, dtype=np.int32),
         }
+        arrays.update(bound_arrays)
         return cls(terms, arrays, lm_smoothing=lm_smoothing)
 
     @classmethod
@@ -422,6 +461,123 @@ class ColumnarScoringIndex:
         return scores
 
 
+def _bound_aggregate_arrays(
+    post_indptr: np.ndarray,
+    post_rows: np.ndarray,
+    post_tfidf: np.ndarray,
+    lm_log_mixed: np.ndarray,
+    lm_log_base: np.ndarray,
+    obj_x: np.ndarray,
+    obj_y: np.ndarray,
+    obj_rating: np.ndarray,
+    obj_node_pos: np.ndarray,
+    node_x: np.ndarray,
+    node_y: np.ndarray,
+) -> Dict[str, np.ndarray]:
+    """Compute the per-cell bound aggregate columns for all three scoring modes.
+
+    The per-object *potentials* are query-independent upper bounds on any query's
+    score of that object:
+
+    * ``text_relevance`` — ``||wto||_2`` (Cauchy–Schwarz: the query weight vector
+      is non-negative with unit-or-larger norm divisor, so the normalised dot
+      product never exceeds the object vector's norm).
+    * ``rating_if_match`` — ``max(rating, 0)`` (the score is the rating when
+      matched, else 0).
+    * ``language_model`` — ``Σ_t max(ln mixed − ln base, 0)`` over the object's
+      terms with a positive collection probability (each query term the object
+      contains contributes exactly that difference; terms it lacks contribute 0).
+
+    Each nonzero potential is inflated by :data:`BOUND_GUARD` to absorb ulp-level
+    float divergence from the closed forms, aggregated onto nodes via the object →
+    node map, and then onto a ``BOUND_RESOLUTION``-square grid of cells covering
+    the combined object + node bounding box.
+    """
+    resolution = BOUND_RESOLUTION
+    num_cells = resolution * resolution
+    num_modes = len(BOUND_MODES)
+    num_objects = len(obj_x)
+    num_nodes = len(node_x)
+    num_terms = len(lm_log_base)
+
+    # --- per-object potentials (rows follow BOUND_MODES order) ---
+    post_counts = np.bincount(post_rows, minlength=num_objects)
+    tfidf_ub = np.sqrt(
+        np.bincount(post_rows, weights=post_tfidf * post_tfidf, minlength=num_objects)
+    )
+    if len(post_rows):
+        tids = np.repeat(np.arange(num_terms), np.diff(post_indptr))
+        base = lm_log_base[tids]
+        diff = np.where(base != 0.0, lm_log_mixed - base, 0.0)
+        np.maximum(diff, 0.0, out=diff)
+        lm_ub = np.bincount(post_rows, weights=diff, minlength=num_objects)
+    else:
+        lm_ub = np.zeros(num_objects, dtype=np.float64)
+    potentials = np.stack(
+        [
+            tfidf_ub * BOUND_GUARD,
+            np.maximum(obj_rating, 0.0) * BOUND_GUARD,
+            lm_ub * BOUND_GUARD,
+        ]
+    )
+
+    # --- cell geometry: combined object + node bounding box ---
+    if num_objects + num_nodes > 0:
+        all_x = np.concatenate([obj_x, node_x])
+        all_y = np.concatenate([obj_y, node_y])
+        min_x, max_x = float(all_x.min()), float(all_x.max())
+        min_y, max_y = float(all_y.min()), float(all_y.max())
+    else:
+        min_x = min_y = max_x = max_y = 0.0
+    cell_w = (max_x - min_x) / resolution or 1.0
+    cell_h = (max_y - min_y) / resolution or 1.0
+
+    def cells_of(xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        cx = np.clip(((xs - min_x) / cell_w).astype(np.int64), 0, resolution - 1)
+        cy = np.clip(((ys - min_y) / cell_h).astype(np.int64), 0, resolution - 1)
+        return (cy * resolution + cx).astype(np.int32)
+
+    obj_cell = cells_of(obj_x, obj_y)
+    node_cell = cells_of(node_x, node_y)
+
+    # --- aggregation (mapped objects only: unmapped ones never reach σ_v) ---
+    mapped = obj_node_pos >= 0
+    mapped_cells = obj_cell[mapped]
+    cell_sigma_mass = np.zeros((num_modes, num_cells), dtype=np.float64)
+    cell_sigma_max = np.zeros((num_modes, num_cells), dtype=np.float64)
+    cell_node_mass = np.zeros((num_modes, num_cells), dtype=np.float64)
+    for row in range(num_modes):
+        mapped_ub = potentials[row][mapped]
+        cell_sigma_mass[row] = np.bincount(
+            mapped_cells, weights=mapped_ub, minlength=num_cells
+        )
+        node_ub = np.bincount(
+            obj_node_pos[mapped], weights=mapped_ub, minlength=num_nodes
+        )
+        cell_node_mass[row] = np.bincount(
+            node_cell, weights=node_ub, minlength=num_cells
+        )
+        np.maximum.at(cell_sigma_max[row], node_cell, node_ub)
+
+    cell_obj_count = np.bincount(mapped_cells, minlength=num_cells).astype(np.int64)
+    cell_post_count = np.bincount(
+        mapped_cells, weights=post_counts[mapped].astype(np.float64), minlength=num_cells
+    ).astype(np.int64)
+
+    return {
+        "bound_meta": np.array(
+            [float(resolution), min_x, min_y, cell_w, cell_h], dtype=np.float64
+        ),
+        "obj_cell": obj_cell,
+        "node_cell": node_cell,
+        "cell_sigma_mass": cell_sigma_mass,
+        "cell_sigma_max": cell_sigma_max,
+        "cell_node_mass": cell_node_mass,
+        "cell_obj_count": cell_obj_count,
+        "cell_post_count": cell_post_count,
+    }
+
+
 ARRAY_FIELDS: Tuple[str, ...] = (
     "post_indptr",
     "post_rows",
@@ -439,8 +595,21 @@ ARRAY_FIELDS: Tuple[str, ...] = (
     "node_y",
     "node_indptr",
     "node_rows",
+    "bound_meta",
+    "obj_cell",
+    "node_cell",
+    "cell_sigma_mass",
+    "cell_sigma_max",
+    "cell_node_mass",
+    "cell_obj_count",
+    "cell_post_count",
 )
-"""Names of the persisted array columns, in canonical order."""
+"""Names of the persisted array columns, in canonical order.
+
+The eight ``bound_*`` / ``*_cell`` / ``cell_*`` columns (format version 3) are
+the per-grid-cell aggregates backing :class:`repro.core.bounds.UpperBoundIndex`;
+see :func:`_bound_aggregate_arrays` for their definitions.
+"""
 
 
 class WeightPipeline:
@@ -469,6 +638,7 @@ class WeightPipeline:
 
         self._index = index
         self._mode = mode
+        self._bounds = None
         if mode is ScoringMode.LANGUAGE_MODEL:
             wanted = index.lm_smoothing if lm_smoothing is None else float(lm_smoothing)
             if wanted != index.lm_smoothing:
@@ -486,6 +656,19 @@ class WeightPipeline:
     def mode(self):
         """The bound scoring mode."""
         return self._mode
+
+    @property
+    def bounds(self):
+        """The :class:`repro.core.bounds.UpperBoundIndex` for this pipeline's mode.
+
+        Built lazily from the index's persisted cell aggregates; the import is
+        deferred because :mod:`repro.core.bounds` imports this module.
+        """
+        if self._bounds is None:
+            from repro.core.bounds import UpperBoundIndex  # deferred: cycle guard
+
+            self._bounds = UpperBoundIndex.from_columnar(self._index, self._mode)
+        return self._bounds
 
     def object_scores(self, keywords: Sequence[str]) -> np.ndarray:
         """Dense per-object weight column for the bound mode (no spatial masking)."""

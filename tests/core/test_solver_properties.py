@@ -61,6 +61,17 @@ def backend(request):
     return request.param
 
 
+@pytest.fixture(params=["on", "off"])
+def pruning(request):
+    """Run the monotonicity suite under both pruning policies.
+
+    Bound-based pruning is skip-only (byte-identical results — see
+    ``test_pruning_parity.py``), so every metamorphic property must hold
+    verbatim with the skips armed.
+    """
+    return request.param
+
+
 def _network_for(seed: int):
     return random_geometric_network(num_nodes=80, extent=2000.0, seed=seed)
 
@@ -74,10 +85,11 @@ def _random_weights(network, seed: int, fraction: float = 0.5) -> Dict[int, floa
     }
 
 
-def _instance(network, weights, delta, region=None, backend="dict") -> ProblemInstance:
+def _instance(network, weights, delta, region=None, backend="dict",
+              pruning="auto") -> ProblemInstance:
     query = LCMSRQuery.create(["kw"], delta=delta, region=region)
     instance = build_instance(network, query, node_weights=weights)
-    return instance.with_backend(backend)
+    return instance.with_backend(backend).with_pruning(pruning)
 
 
 def _keyword_assignment(network, seed: int) -> Dict[int, List[str]]:
@@ -109,7 +121,7 @@ def _match_weights(
 
 class TestBudgetMonotonicity:
     @pytest.mark.parametrize("seed", SEEDS)
-    def test_exact_is_monotone_in_delta(self, seed, backend):
+    def test_exact_is_monotone_in_delta(self, seed, backend, pruning):
         # Tiny instances: Exact enumerates, so the window must stay small.
         network = grid_network(4, 4, spacing=100.0, jitter=15.0,
                                rng=random.Random(seed))
@@ -117,7 +129,8 @@ class TestBudgetMonotonicity:
         solver = ExactSolver(max_nodes=16)
         previous = -1.0
         for delta in (120.0, 250.0, 450.0, 800.0):
-            score = solver.solve(_instance(network, weights, delta, backend=backend)).weight
+            score = solver.solve(_instance(network, weights, delta, backend=backend,
+                      pruning=pruning)).weight
             assert score >= previous - 1e-12, (
                 f"Exact got worse with a larger budget at delta={delta}"
             )
@@ -126,13 +139,15 @@ class TestBudgetMonotonicity:
     @pytest.mark.parametrize("seed", SEEDS)
     @pytest.mark.parametrize("make_solver", [GreedySolver, TGENSolver],
                              ids=["greedy", "tgen"])
-    def test_heuristics_are_monotone_in_delta(self, seed, make_solver, backend):
+    def test_heuristics_are_monotone_in_delta(self, seed, make_solver, backend,
+                                               pruning):
         network = _network_for(seed)
         weights = _random_weights(network, seed)
         solver = make_solver()
         previous = -1.0
         for delta in DELTAS:
-            score = solver.solve(_instance(network, weights, delta, backend=backend)).weight
+            score = solver.solve(_instance(network, weights, delta, backend=backend,
+                      pruning=pruning)).weight
             assert score >= previous - 1e-9, (
                 f"{solver.__class__.__name__} got worse with a larger budget "
                 f"at delta={delta} (seed {seed})"
@@ -140,12 +155,13 @@ class TestBudgetMonotonicity:
             previous = score
 
     @pytest.mark.parametrize("seed", SEEDS)
-    def test_app_is_monotone_up_to_its_guarantee(self, seed, backend):
+    def test_app_is_monotone_up_to_its_guarantee(self, seed, backend, pruning):
         network = _network_for(seed)
         weights = _random_weights(network, seed)
         solver = APPSolver()
         scores = [
-            solver.solve(_instance(network, weights, delta, backend=backend)).weight
+            solver.solve(_instance(network, weights, delta, backend=backend,
+                      pruning=pruning)).weight
             for delta in DELTAS
         ]
         for smaller, larger in zip(scores, scores[1:]):
@@ -156,7 +172,8 @@ class TestBudgetMonotonicity:
 
 class TestKeywordMonotonicity:
     @pytest.mark.parametrize("seed", SEEDS)
-    def test_removing_a_keyword_never_increases_the_optimum(self, seed, backend):
+    def test_removing_a_keyword_never_increases_the_optimum(self, seed, backend,
+                                                            pruning):
         network = grid_network(4, 4, spacing=100.0, jitter=10.0,
                                rng=random.Random(seed + 100))
         assignment = _keyword_assignment(network, seed)
@@ -164,20 +181,23 @@ class TestKeywordMonotonicity:
         keywords = list(KEYWORD_POOL)
         full = solver.solve(
             _instance(network, _match_weights(assignment, keywords), 500.0,
-                      backend=backend)
+                      backend=backend,
+                      pruning=pruning)
         ).weight
         for removed in keywords:
             reduced_keywords = [k for k in keywords if k != removed]
             reduced = solver.solve(
                 _instance(network, _match_weights(assignment, reduced_keywords), 500.0,
-                          backend=backend)
+                          backend=backend,
+                      pruning=pruning)
             ).weight
             assert reduced <= full + 1e-12, (
                 f"dropping keyword {removed!r} increased the optimal score"
             )
 
     @pytest.mark.parametrize("seed", SEEDS)
-    def test_heuristics_never_beat_full_keyword_exact_optimum(self, seed, backend):
+    def test_heuristics_never_beat_full_keyword_exact_optimum(self, seed, backend,
+                                                              pruning):
         # The heuristics run on pointwise-smaller weights, so even they can never
         # exceed the full-keyword-set *exact* optimum.
         network = grid_network(4, 4, spacing=100.0, jitter=10.0,
@@ -185,14 +205,16 @@ class TestKeywordMonotonicity:
         assignment = _keyword_assignment(network, seed)
         optimum = ExactSolver(max_nodes=16).solve(
             _instance(network, _match_weights(assignment, KEYWORD_POOL), 500.0,
-                      backend=backend)
+                      backend=backend,
+                      pruning=pruning)
         ).weight
         for solver in (GreedySolver(), TGENSolver(), APPSolver()):
             for removed in KEYWORD_POOL[:2]:
                 reduced_keywords = [k for k in KEYWORD_POOL if k != removed]
                 score = solver.solve(
                     _instance(network, _match_weights(assignment, reduced_keywords),
-                              500.0, backend=backend)
+                              500.0, backend=backend,
+                      pruning=pruning)
                 ).weight
                 assert score <= optimum + 1e-9
 
@@ -310,3 +332,40 @@ class TestBackendIdentity:
                 assert len(topk_dict.results) == len(other.results)
                 for result_d, result_c in zip(topk_dict.results, other.results):
                     self._assert_same(result_d, result_c)
+
+
+class TestTopKPruningInvariant:
+    """Pruned top-k must equal exhaustive enumeration, rank for rank."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("k", [1, 3, 5])
+    def test_pruned_exact_topk_matches_exhaustive_enumeration(self, seed, k, backend):
+        # pruning="off" makes ExactSolver enumerate every connected subset, so
+        # comparing against it pins the branch-and-bound top-k to the full
+        # enumeration: same k results, same order, bit-equal scores.
+        network = grid_network(4, 4, spacing=100.0, jitter=15.0,
+                               rng=random.Random(seed + 400))
+        weights = _random_weights(network, seed, fraction=0.7)
+        solver = ExactSolver(max_nodes=16)
+        instance = _instance(network, weights, 350.0, backend=backend)
+        pruned = solver.solve_topk(instance.with_pruning("on"), k=k)
+        exhaustive = solver.solve_topk(instance.with_pruning("off"), k=k)
+        assert len(pruned.results) == len(exhaustive.results)
+        for result_p, result_e in zip(pruned.results, exhaustive.results):
+            assert result_p.region.nodes == result_e.region.nodes
+            assert result_p.region.edges == result_e.region.edges
+            assert result_p.weight == result_e.weight  # bit-equal
+            assert result_p.length == result_e.length
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_pruned_heuristic_topk_is_identical(self, seed, backend):
+        network = _network_for(seed + 70)
+        weights = _random_weights(network, seed + 70)
+        for solver in (GreedySolver(), TGENSolver()):
+            instance = _instance(network, weights, 700.0, backend=backend)
+            pruned = solver.solve_topk(instance.with_pruning("on"), k=3)
+            reference = solver.solve_topk(instance.with_pruning("off"), k=3)
+            assert len(pruned.results) == len(reference.results)
+            for result_p, result_r in zip(pruned.results, reference.results):
+                assert result_p.region.nodes == result_r.region.nodes
+                assert result_p.weight == result_r.weight

@@ -43,7 +43,7 @@ class TestInfo:
     def test_info_prints_manifest_fields(self, cli_artifact, capsys):
         assert main(["info", str(cli_artifact), "--verify"]) == 0
         out = capsys.readouterr().out
-        assert "format version : 2" in out
+        assert "format version : 3" in out
         assert "fingerprint" in out
         assert "verified ok" in out
 

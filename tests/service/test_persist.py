@@ -153,6 +153,22 @@ class TestIntegrity:
         with pytest.raises(ArtifactError, match="format version"):
             IndexBundle.load(path)
 
+    def test_pre_bump_artifact_is_rejected_with_a_rebuild_hint(self, tmp_path):
+        # Format version 3 added the bound-aggregate columns to scoring.npz;
+        # a version-2 artifact is missing them, so the loader must reject it
+        # outright and tell the operator how to get a current one.
+        bundle = IndexBundle.from_dataset(_tiny_dataset(seed=8))
+        path = tmp_path / "pre-bump"
+        bundle.save(path)
+        manifest_path = path / MANIFEST_NAME
+        raw = json.loads(manifest_path.read_text())
+        raw["format_version"] = FORMAT_VERSION - 1
+        manifest_path.write_text(json.dumps(raw))
+        with pytest.raises(ArtifactError, match="rebuild the artifact"):
+            IndexBundle.load(path)
+        with pytest.raises(ArtifactError, match="python -m repro build"):
+            read_manifest(path)
+
     @pytest.mark.parametrize("victim", [NETWORK_NAME, SCORING_NAME, INDEX_NAME])
     def test_corruption_is_rejected_by_checksums(self, tmp_path, victim):
         bundle = IndexBundle.from_dataset(_tiny_dataset(seed=8))
@@ -227,6 +243,27 @@ class TestMmapSemantics:
             assert not array.flags.writeable
             with pytest.raises(ValueError):
                 array[0] = array[0]
+
+    def test_bound_columns_load_as_read_only_memmaps(self, artifact):
+        # The format-version-3 aggregate columns ride in scoring.npz and must
+        # come back as read-only memmaps like every other persisted array —
+        # and still drive a working UpperBoundIndex.
+        path, _ = artifact
+        index = IndexBundle.load(path).weight_pipeline().index
+        for name in (
+            "bound_meta", "obj_cell", "node_cell", "cell_sigma_mass",
+            "cell_sigma_max", "cell_node_mass", "cell_obj_count",
+            "cell_post_count",
+        ):
+            array = getattr(index, name)
+            assert not array.flags.writeable, name
+            with pytest.raises(ValueError):
+                array.reshape(-1)[:1] = 0
+        from repro.core.bounds import UpperBoundIndex
+
+        bounds = UpperBoundIndex.from_columnar(index, "text_relevance")
+        window = Rectangle(0.0, 0.0, 1e6, 1e6)
+        assert bounds.window_mass_bound(window) > 0.0
 
     def test_loaded_bundle_thaws_road_network_on_demand(self, artifact):
         path, bundle = artifact
