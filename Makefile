@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-parity docs-check compile-check bench-service bench bench-smoke bench-json artifact-smoke
+.PHONY: test test-parity docs-check compile-check bench-service bench bench-smoke bench-json artifact-smoke shard-smoke
 
 # Tier-1 suite (includes the docs link/section check).
 test:
@@ -53,6 +53,9 @@ bench-json:
 		benchmarks/bench_solver_backend.py -q -s -o python_files="bench_*.py"
 	REPRO_BENCH_JSON=BENCH_pruning.json $(PYTHON) -m pytest \
 		benchmarks/bench_pruning.py -q -s -o python_files="bench_*.py"
+	REPRO_BENCH_JSON=BENCH_service.json $(PYTHON) -m pytest \
+		benchmarks/bench_service_throughput.py::test_bench_process_scaling \
+		-q -s -o python_files="bench_*.py"
 
 # End-to-end artifact gate through the CLI: build a small artifact, verify and
 # reload it, and answer one query per solver (exact gets a small window so its
@@ -72,3 +75,25 @@ artifact-smoke:
 	$(PYTHON) -m repro serve-batch $(ARTIFACT_SMOKE_DIR)/ny --synthesize 8 \
 		--delta 800 --workers 2 --repeat 2
 	rm -rf $(ARTIFACT_SMOKE_DIR)
+
+# End-to-end sharded-serving gate through the CLI: build an artifact with 4
+# tile shards, verify every shard sub-artifact's manifest and checksums, and
+# serve one cross-shard query per solver through the multi-process gateway.
+# Leaves no files behind.
+SHARD_SMOKE_DIR := .shard-smoke
+shard-smoke:
+	rm -rf $(SHARD_SMOKE_DIR)
+	$(PYTHON) -m repro build --dataset ny --rows 16 --cols 16 --objects 500 \
+		--clusters 6 --seed 3 --out $(SHARD_SMOKE_DIR)/ny --shards 4 --halo 600
+	for shard in $(SHARD_SMOKE_DIR)/ny/shards/shard-*; do \
+		$(PYTHON) -m repro info $$shard --verify || exit 1; \
+	done
+	printf '%s\n' \
+		'{"keywords": ["cafe", "restaurant"], "delta": 800, "algorithm": "app"}' \
+		'{"keywords": ["cafe", "restaurant"], "delta": 800, "algorithm": "tgen"}' \
+		'{"keywords": ["cafe", "restaurant"], "delta": 800, "algorithm": "greedy"}' \
+		'{"keywords": ["cafe"], "delta": 500, "region": [100, 100, 450, 450], "algorithm": "exact"}' \
+		> $(SHARD_SMOKE_DIR)/requests.jsonl
+	$(PYTHON) -m repro serve-batch $(SHARD_SMOKE_DIR)/ny \
+		--requests $(SHARD_SMOKE_DIR)/requests.jsonl --processes 2
+	rm -rf $(SHARD_SMOKE_DIR)

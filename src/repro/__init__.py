@@ -11,7 +11,11 @@ For serving many queries, :class:`repro.service.QueryService` wraps an engine wi
 worker pool, a result cache and a problem-instance cache (``submit_many`` /
 ``run_batch``). The offline index build persists as a versioned on-disk artifact
 (:mod:`repro.service.persist`, ``python -m repro build``) that any process loads
-back in I/O-bound time with the network arrays memory-mapped.
+back in I/O-bound time with the network arrays memory-mapped. To scale past one
+core, ``python -m repro build --shards K`` partitions the artifact into tile
+shards with halo edges and :class:`repro.service.ShardedQueryService` serves
+them through a multi-process scatter-gather gateway
+(:mod:`repro.service.sharding`) with byte-identical answers.
 
 Quick start (build once — here in-process, normally ``python -m repro build``)::
 
@@ -45,6 +49,7 @@ from repro.service import (
     QueryRequest,
     QueryService,
     ServiceStats,
+    ShardedQueryService,
 )
 from repro.core import (
     APPSolver,
@@ -74,6 +79,7 @@ __all__ = [
     "QueryService",
     "QueryRequest",
     "ServiceStats",
+    "ShardedQueryService",
     "LCMSRQuery",
     "Region",
     "RegionTuple",

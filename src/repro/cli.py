@@ -99,6 +99,24 @@ def _cmd_build(args: argparse.Namespace) -> int:
     print(f"  bundle      : {bundle.describe()}")
     print(f"  fingerprint : {manifest.fingerprint[:16]}…")
     print(f"  format      : v{manifest.format_version}")
+    if args.shards is not None:
+        from repro.service.sharding import build_shards
+
+        if args.shards < 1:
+            raise QueryError(f"--shards must be >= 1, got {args.shards}")
+        shard_set = build_shards(
+            bundle,
+            args.out,
+            num_shards=args.shards,
+            halo_margin=args.halo,
+            base_fingerprint=manifest.fingerprint,
+            overwrite=args.force,
+        )
+        kx, ky = shard_set.tiles
+        print(
+            f"  shards      : {shard_set.num_shards} "
+            f"({kx}x{ky} tiles, halo {shard_set.halo_margin:.0f} m)"
+        )
     return 0
 
 
@@ -115,6 +133,11 @@ def _cmd_info(args: argparse.Namespace) -> int:
     print(f"  fingerprint    : {manifest.fingerprint}")
     print(f"  grid           : {manifest.grid_resolution}x{manifest.grid_resolution}")
     print(f"  scoring mode   : {manifest.scoring_mode}")
+    if manifest.shard is not None:
+        print(
+            f"  shard          : part {manifest.shard.get('part')} of "
+            f"{manifest.shard.get('of')} (halo {manifest.shard.get('halo_margin')} m)"
+        )
     for key in sorted(manifest.stats):
         print(f"  {key:<15}: {manifest.stats[key]}")
     for name in sorted(manifest.checksums):
@@ -210,16 +233,37 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
     else:
         requests = _synthesize_requests(engine, args.synthesize, args.delta, args.seed)
 
+    # RegionResult exposes is_empty; a TopKResult is empty when it has no entries.
+    def _answered(result) -> bool:
+        if hasattr(result, "is_empty"):
+            return not result.is_empty
+        return len(result) > 0
+
+    if args.processes is not None:
+        from repro.service.sharding import ShardedQueryService
+
+        if args.processes < 1:
+            raise QueryError(f"--processes must be >= 1, got {args.processes}")
+        with ShardedQueryService(
+            args.artifact, num_workers=args.processes, pruning=args.pruning
+        ) as service:
+            for _ in range(args.repeat):
+                results = service.run_batch(requests)
+            shard_set = service.shard_set
+            shards = shard_set.num_shards if shard_set else 0
+            print(
+                f"served {len(requests)} request(s) x{args.repeat} with "
+                f"{args.processes} process(es) over {shards} shard(s)"
+            )
+            answered = sum(1 for result in results if _answered(result))
+            print(f"non-empty answers in last pass: {answered}/{len(results)}")
+            print(format_service_stats(service.stats(), title="sharded service stats"))
+        return 0
+
     with QueryService(engine, max_workers=args.workers) as service:
         for _ in range(args.repeat):
             results = service.run_batch(requests)
         print(f"served {len(requests)} request(s) x{args.repeat} with {args.workers} worker(s)")
-        # RegionResult exposes is_empty; a TopKResult is empty when it has no entries.
-        def _answered(result) -> bool:
-            if hasattr(result, "is_empty"):
-                return not result.is_empty
-            return len(result) > 0
-
         answered = sum(1 for result in results if _answered(result))
         print(f"non-empty answers in last pass: {answered}/{len(results)}")
         print(format_service_stats(service.stats(), title="service stats"))
@@ -250,6 +294,16 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--extent", type=float, default=20000.0, help="[usanw] extent (m)")
     build.add_argument("--objects", type=int, default=7000, help="number of geo-textual objects")
     build.add_argument("--clusters", type=int, default=30, help="number of PoI hot spots")
+    build.add_argument(
+        "--shards", type=int, default=None,
+        help="also partition the artifact into this many tile shards under "
+        "<out>/shards/ (self-contained sub-artifacts with halo edges)",
+    )
+    build.add_argument(
+        "--halo", type=float, default=2000.0,
+        help="[--shards] halo margin in meters; choose >= the largest query ∆ "
+        "the shards should answer locally",
+    )
     build.set_defaults(func=_cmd_build)
 
     info = subparsers.add_parser("info", help="print an artifact's manifest")
@@ -291,6 +345,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--delta", type=float, default=2000.0, help="budget for synthesized queries")
     serve.add_argument("--seed", type=int, default=7, help="seed for synthesized queries")
     serve.add_argument("--workers", type=int, default=4)
+    serve.add_argument(
+        "--processes", type=int, default=None,
+        help="serve with this many worker processes through the sharded "
+        "scatter-gather gateway instead of the in-process thread pool",
+    )
     serve.add_argument("--repeat", type=int, default=1, help="run the batch this many times")
     serve.add_argument(
         "--pruning", choices=("auto", "on", "off"), default="auto",

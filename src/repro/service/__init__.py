@@ -17,6 +17,11 @@ into a high-throughput service:
   :func:`save_bundle` / :func:`load_bundle` (mmap-backed), the
   :class:`ArtifactManifest` with checksums and a dataset fingerprint, and the
   artifact cache behind the evaluation runner and the ``python -m repro`` CLI.
+* :mod:`repro.service.sharding` — sharded multi-process serving:
+  :func:`build_shards` partitions an artifact into tile shards with halo
+  edges, :class:`ShardRouter` maps windows to shards, and
+  :class:`ShardedQueryService` is the ``ProcessPoolExecutor`` scatter-gather
+  gateway with admission control — byte-identical to the unsharded engine.
 """
 
 from repro.service.bundle import IndexBundle
@@ -33,6 +38,16 @@ from repro.service.persist import (
     verify_artifact,
 )
 from repro.service.query_service import QueryRequest, QueryService, ServiceResult
+from repro.service.sharding import (
+    ShardedQueryService,
+    ShardInfo,
+    ShardRouter,
+    ShardSetManifest,
+    WorkerConfig,
+    build_shards,
+    load_shard_set,
+    merge_topk,
+)
 from repro.service.stats import QueryTiming, ServiceStats, StatsCollector
 
 __all__ = [
@@ -56,4 +71,12 @@ __all__ = [
     "QueryTiming",
     "ServiceStats",
     "StatsCollector",
+    "ShardedQueryService",
+    "ShardInfo",
+    "ShardRouter",
+    "ShardSetManifest",
+    "WorkerConfig",
+    "build_shards",
+    "load_shard_set",
+    "merge_topk",
 ]

@@ -80,15 +80,19 @@ from repro.textindex.columnar import (
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (bundle imports persist)
     from repro.service.bundle import IndexBundle
 
-FORMAT_VERSION = 3
+FORMAT_VERSION = 4
 """Current on-disk artifact format version (see the module docstring).
 
 Version history: 1 — network.npz + index.pkl + vocabulary.json; 2 — adds
 scoring.npz (the columnar scoring index) and the manifest's ``lm_smoothing``
 field; 3 — adds the per-cell bound aggregate columns to scoring.npz (the
 ``bound_meta`` / ``*_cell`` / ``cell_*`` arrays backing
-:class:`repro.core.bounds.UpperBoundIndex`). Loaders accept exactly the current
-version (no silent migration); older artifacts must be rebuilt with
+:class:`repro.core.bounds.UpperBoundIndex`); 4 — adds the corpus-global
+statistic columns ``term_df`` / ``corpus_meta`` to scoring.npz (so spatial
+shards score with full-corpus IDF weights) and the manifest's optional
+``shard`` block (tile / extent / halo linkage of a shard sub-artifact, see
+:mod:`repro.service.sharding`). Loaders accept exactly the current version (no
+silent migration); older artifacts must be rebuilt with
 ``python -m repro build``.
 """
 
@@ -124,6 +128,12 @@ class ArtifactManifest:
         stats: Headline counts (nodes, edges, objects, vocabulary size,
             postings, mapped nodes).
         checksums: ``file name → sha256 hex digest`` for every payload file.
+        shard: ``None`` for a standalone artifact. For a shard sub-artifact
+            (see :mod:`repro.service.sharding`): the tile and halo-expanded
+            extent rectangles (``[min_x, min_y, max_x, max_y]``), the
+            ``halo_margin`` the extent was grown by, the shard's ``part`` /
+            ``of`` position in its set, and the ``base_fingerprint`` of the
+            full artifact it was partitioned from (the staleness check).
     """
 
     format_version: int
@@ -133,6 +143,7 @@ class ArtifactManifest:
     lm_smoothing: float = DEFAULT_LM_SMOOTHING
     stats: Dict[str, int] = field(default_factory=dict)
     checksums: Dict[str, str] = field(default_factory=dict)
+    shard: Optional[Dict[str, object]] = None
 
     def to_json(self) -> str:
         """Render the manifest as canonical (sorted-keys) JSON."""
@@ -151,6 +162,7 @@ class ArtifactManifest:
                 lm_smoothing=float(raw.get("lm_smoothing", DEFAULT_LM_SMOOTHING)),
                 stats={str(k): int(v) for k, v in raw.get("stats", {}).items()},
                 checksums={str(k): str(v) for k, v in raw.get("checksums", {}).items()},
+                shard=raw.get("shard"),
             )
         except (ValueError, KeyError, TypeError) as exc:
             raise ArtifactError(f"malformed artifact manifest: {exc}") from exc
@@ -323,6 +335,7 @@ def save_bundle(
     path: PathLike,
     overwrite: bool = False,
     fingerprint: Optional[str] = None,
+    shard: Optional[Dict[str, object]] = None,
 ) -> ArtifactManifest:
     """Serialise ``bundle`` into the artifact directory at ``path``.
 
@@ -337,6 +350,9 @@ def save_bundle(
             bundle's (network, corpus); computed here when omitted. Callers that
             already fingerprinted the dataset (the artifact cache) pass it to
             avoid hashing the content twice.
+        shard: Optional shard-linkage block recorded verbatim in the manifest
+            (see :attr:`ArtifactManifest.shard`); only the spatial partitioner
+            passes it.
 
     Returns:
         The manifest that was written.
@@ -408,6 +424,7 @@ def save_bundle(
             name: _sha256_file(directory / name)
             for name in (NETWORK_NAME, SCORING_NAME, INDEX_NAME, VOCABULARY_NAME)
         },
+        shard=shard,
     )
     _write_bytes_atomic(manifest_path, manifest.to_json().encode("utf-8"))
     return manifest

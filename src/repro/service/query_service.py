@@ -211,6 +211,17 @@ class QueryService:
             QueryError: On a malformed request (empty keywords, negative ``∆``,
                 unknown algorithm).
         """
+        result, _ = self.execute_timed(request)
+        return result
+
+    def execute_timed(self, request: QueryRequest) -> Tuple[ServiceResult, QueryTiming]:
+        """Serve one request and also return its recorded timing.
+
+        The timing is the same :class:`~repro.service.stats.QueryTiming` that
+        :meth:`execute` records in this service's collector — process-pool
+        workers (:mod:`repro.service.sharding`) use this to ship both the answer
+        and the accounting back to the gateway in one picklable pair.
+        """
         start = time.perf_counter()
         algorithm = (request.algorithm or self._engine.default_algorithm).lower()
         # The query normalises its keywords at construction (strip / lower /
@@ -239,18 +250,17 @@ class QueryService:
         if cached is not None:
             # A result hit never probes the instance cache, so it is not an
             # instance hit.
-            self._collector.record(
-                QueryTiming(
-                    key=key,
-                    algorithm=algorithm,
-                    result_cache_hit=True,
-                    instance_cache_hit=False,
-                    build_seconds=0.0,
-                    solve_seconds=0.0,
-                    total_seconds=time.perf_counter() - start,
-                )
+            timing = QueryTiming(
+                key=key,
+                algorithm=algorithm,
+                result_cache_hit=True,
+                instance_cache_hit=False,
+                build_seconds=0.0,
+                solve_seconds=0.0,
+                total_seconds=time.perf_counter() - start,
             )
-            return cached
+            self._collector.record(timing)
+            return cached, timing
 
         instance, instance_hit, build_seconds = self._instance_for(key.instance_key, query)
 
@@ -262,18 +272,17 @@ class QueryService:
             solve_seconds = result.runtime_seconds
 
         self._result_cache.put(key, result)
-        self._collector.record(
-            QueryTiming(
-                key=key,
-                algorithm=algorithm,
-                result_cache_hit=False,
-                instance_cache_hit=instance_hit,
-                build_seconds=build_seconds,
-                solve_seconds=solve_seconds,
-                total_seconds=time.perf_counter() - start,
-            )
+        timing = QueryTiming(
+            key=key,
+            algorithm=algorithm,
+            result_cache_hit=False,
+            instance_cache_hit=instance_hit,
+            build_seconds=build_seconds,
+            solve_seconds=solve_seconds,
+            total_seconds=time.perf_counter() - start,
         )
-        return result
+        self._collector.record(timing)
+        return result, timing
 
     def _instance_for(
         self, key: InstanceKey, query: LCMSRQuery

@@ -4,13 +4,27 @@ Each query the :class:`~repro.service.query_service.QueryService` executes produ
 one :class:`QueryTiming`; :class:`ServiceStats` aggregates them together with the two
 caches' counters. ``evaluation.reporting`` renders these as the same fixed-width
 tables the benchmark figures use (:func:`repro.evaluation.reporting.format_service_stats`).
+
+Multi-process serving (:class:`~repro.service.sharding.ShardedQueryService`) adds
+two requirements this module covers:
+
+* every record is picklable (worker processes ship their timings back to the
+  gateway), and
+* per-worker snapshots combine losslessly — :meth:`ServiceStats.merge` sums the
+  counters and concatenates the timing records of any number of snapshots.
+
+The aggregate totals are carried explicitly in :class:`StatTotals` rather than
+re-derived from the timing list: :class:`StatsCollector` accumulates them inside
+the same critical section that appends the timing record, so a snapshot can
+never observe a timing whose counts are missing (or vice versa), and totals
+survive even if a future collector bounds its timing retention.
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Iterable, List, Optional
 
 from repro.service.cache import CacheStats
 from repro.service.keys import ResultKey
@@ -44,6 +58,63 @@ class QueryTiming:
 
 
 @dataclass(frozen=True)
+class StatTotals:
+    """Exact aggregate counters over a set of served queries.
+
+    Accumulated atomically by :class:`StatsCollector` (one lock-protected
+    read-modify-write per query, in the same critical section as the timing
+    append) and summed across workers by :meth:`ServiceStats.merge`.
+    """
+
+    queries: int = 0
+    result_hits: int = 0
+    instance_hits: int = 0
+    build_seconds: float = 0.0
+    solve_seconds: float = 0.0
+    total_seconds: float = 0.0
+
+    def __add__(self, other: "StatTotals") -> "StatTotals":
+        return StatTotals(
+            queries=self.queries + other.queries,
+            result_hits=self.result_hits + other.result_hits,
+            instance_hits=self.instance_hits + other.instance_hits,
+            build_seconds=self.build_seconds + other.build_seconds,
+            solve_seconds=self.solve_seconds + other.solve_seconds,
+            total_seconds=self.total_seconds + other.total_seconds,
+        )
+
+    @classmethod
+    def from_timings(cls, timings: Iterable[QueryTiming]) -> "StatTotals":
+        """Derive the totals of a timing list (for snapshots built without a collector)."""
+        totals = cls()
+        for timing in timings:
+            totals = totals + cls.of(timing)
+        return totals
+
+    @classmethod
+    def of(cls, timing: QueryTiming) -> "StatTotals":
+        """The one-query totals contribution of a single timing record."""
+        return cls(
+            queries=1,
+            result_hits=1 if timing.result_cache_hit else 0,
+            instance_hits=1 if timing.instance_cache_hit else 0,
+            build_seconds=timing.build_seconds,
+            solve_seconds=timing.solve_seconds,
+            total_seconds=timing.total_seconds,
+        )
+
+
+def _sum_cache_stats(parts: List[CacheStats]) -> CacheStats:
+    return CacheStats(
+        hits=sum(p.hits for p in parts),
+        misses=sum(p.misses for p in parts),
+        evictions=sum(p.evictions for p in parts),
+        size=sum(p.size for p in parts),
+        max_size=sum(p.max_size for p in parts),
+    )
+
+
+@dataclass(frozen=True)
 class ServiceStats:
     """An immutable snapshot of a service's accumulated accounting.
 
@@ -51,41 +122,72 @@ class ServiceStats:
         timings: One record per executed query, in completion order.
         result_cache: Snapshot of the result cache's counters.
         instance_cache: Snapshot of the instance cache's counters.
+        totals: Exact aggregate counters (see :class:`StatTotals`); derived from
+            ``timings`` when a snapshot is constructed without one.
     """
 
     timings: List[QueryTiming]
     result_cache: CacheStats
     instance_cache: CacheStats
+    totals: Optional[StatTotals] = None
+
+    def _totals(self) -> StatTotals:
+        return (
+            self.totals
+            if self.totals is not None
+            else StatTotals.from_timings(self.timings)
+        )
+
+    @classmethod
+    def merge(cls, parts: Iterable["ServiceStats"]) -> "ServiceStats":
+        """Combine per-worker snapshots into one aggregate snapshot.
+
+        Timing records are concatenated in the given part order, cache counters
+        and totals are summed. Merging zero parts yields an empty snapshot.
+        """
+        part_list = list(parts)
+        timings: List[QueryTiming] = []
+        totals = StatTotals()
+        for part in part_list:
+            timings.extend(part.timings)
+            totals = totals + part._totals()
+        empty = CacheStats(hits=0, misses=0, evictions=0, size=0, max_size=0)
+        return cls(
+            timings=timings,
+            result_cache=_sum_cache_stats([p.result_cache for p in part_list]) if part_list else empty,
+            instance_cache=_sum_cache_stats([p.instance_cache for p in part_list]) if part_list else empty,
+            totals=totals,
+        )
 
     @property
     def queries(self) -> int:
         """Number of queries served."""
-        return len(self.timings)
+        return self._totals().queries
 
     @property
     def result_hits(self) -> int:
         """Queries answered straight from the result cache."""
-        return sum(1 for t in self.timings if t.result_cache_hit)
+        return self._totals().result_hits
 
     @property
     def instance_hits(self) -> int:
         """Queries that reused a cached problem instance."""
-        return sum(1 for t in self.timings if t.instance_cache_hit)
+        return self._totals().instance_hits
 
     @property
     def total_build_seconds(self) -> float:
         """Total instance-build time across all served queries."""
-        return sum(t.build_seconds for t in self.timings)
+        return self._totals().build_seconds
 
     @property
     def total_solve_seconds(self) -> float:
         """Total solver time across all served queries."""
-        return sum(t.solve_seconds for t in self.timings)
+        return self._totals().solve_seconds
 
     @property
     def total_seconds(self) -> float:
         """Total end-to-end service time across all served queries."""
-        return sum(t.total_seconds for t in self.timings)
+        return self._totals().total_seconds
 
     @property
     def mean_latency_seconds(self) -> float:
@@ -99,21 +201,39 @@ class ServiceStats:
 
 
 class StatsCollector:
-    """Mutable, lock-protected accumulator behind a service's ``stats()`` call."""
+    """Mutable, lock-protected accumulator behind a service's ``stats()`` call.
+
+    The timing append and the totals read-modify-write happen inside one
+    critical section, so concurrent :meth:`record` calls can never interleave a
+    partial update — every snapshot's ``totals`` match its ``timings`` exactly
+    (the hammer test in ``tests/service/test_stats.py`` pounds on this).
+    """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._timings: List[QueryTiming] = []
+        self._totals = StatTotals()
 
     def record(self, timing: QueryTiming) -> None:
-        """Append one query's timing record (thread-safe)."""
+        """Record one query's timing and fold it into the totals (atomically)."""
+        contribution = StatTotals.of(timing)
         with self._lock:
             self._timings.append(timing)
+            self._totals = self._totals + contribution
+
+    def record_many(self, timings: Iterable[QueryTiming]) -> None:
+        """Record a batch of timings under a single critical section."""
+        batch = list(timings)
+        contribution = StatTotals.from_timings(batch)
+        with self._lock:
+            self._timings.extend(batch)
+            self._totals = self._totals + contribution
 
     def reset(self) -> None:
-        """Drop all recorded timings."""
+        """Drop all recorded timings and zero the totals."""
         with self._lock:
             self._timings.clear()
+            self._totals = StatTotals()
 
     def snapshot(
         self, result_cache: CacheStats, instance_cache: CacheStats
@@ -121,6 +241,10 @@ class StatsCollector:
         """Freeze the current state into an immutable :class:`ServiceStats`."""
         with self._lock:
             timings = list(self._timings)
+            totals = self._totals
         return ServiceStats(
-            timings=timings, result_cache=result_cache, instance_cache=instance_cache
+            timings=timings,
+            result_cache=result_cache,
+            instance_cache=instance_cache,
+            totals=totals,
         )

@@ -101,6 +101,13 @@ class ColumnarScoringIndex:
             ``BOUND_MODES``) per-cell aggregates of the guarded score potentials.
         cell_obj_count / cell_post_count: Mapped objects / their posting counts
             per cell (int64).
+        term_df: Global document frequency ``f_t`` per term (int64). Equals the
+            postings-row count per term for a full-corpus index, but is persisted
+            separately so a spatial shard (whose postings cover only its own
+            objects) still computes the corpus-global IDF weights.
+        corpus_meta: ``[global_num_objects]`` (int64) — the corpus size ``|D|``
+            the IDF weights are computed against, which for a shard is the size
+            of the *full* corpus, not the shard's object-row count.
     """
 
     def __init__(
@@ -275,6 +282,8 @@ class ColumnarScoringIndex:
             "node_y": node_y,
             "node_indptr": np.asarray(node_indptr_list, dtype=np.int32),
             "node_rows": np.asarray(node_row_list, dtype=np.int32),
+            "term_df": np.diff(np.asarray(post_indptr, dtype=np.int64)),
+            "corpus_meta": np.array([num_objects], dtype=np.int64),
         }
         arrays.update(bound_arrays)
         return cls(terms, arrays, lm_smoothing=lm_smoothing)
@@ -292,6 +301,133 @@ class ColumnarScoringIndex:
         """
         return cls(terms, arrays, lm_smoothing=lm_smoothing)
 
+    def subset_for_extent(self, extent: Rectangle) -> "ColumnarScoringIndex":
+        """Restrict the index to one spatial shard's extent, keeping global stats.
+
+        The subset keeps every object whose coordinates lie inside ``extent``
+        (borders included — the same comparison :meth:`WeightPipeline.node_weights`
+        masks with) **or whose mapped node does**: an object can sit outside the
+        extent while its network node is inside (datasets scatter objects beyond
+        the node bounding box), and dropping it would silently shrink that
+        node's σ. Every node inside ``extent`` or carrying a kept object is kept
+        too, all in their original table order. Because the full index's
+        row/node order is preserved under subsetting, every accumulation the
+        pipeline performs for a query window ``Λ ⊆ extent`` adds the same float64
+        values in the same order as the full index — the kernel outputs are
+        bit-identical.
+
+        What stays *global* (copied, not recomputed): the vocabulary and term
+        ids, ``lm_log_base`` (the collection language model), ``term_df`` and
+        ``corpus_meta`` (the IDF statistics), and the precomputed per-posting
+        value columns. What is *local*: the object/node tables, the postings
+        rows (filtered and renumbered; ``post_indptr`` keeps its full
+        vocabulary length) and the bound-cell aggregates, which are recomputed
+        over the shard so zero-mass window skips stay admissible (skip-decision
+        differences are result-identical — the pruning-parity contract).
+        """
+        keep_obj = (
+            (self.obj_x >= extent.min_x)
+            & (self.obj_x <= extent.max_x)
+            & (self.obj_y >= extent.min_y)
+            & (self.obj_y <= extent.max_y)
+        )
+        keep_node = (
+            (self.node_x >= extent.min_x)
+            & (self.node_x <= extent.max_x)
+            & (self.node_y >= extent.min_y)
+            & (self.node_y <= extent.max_y)
+        )
+        # σ parity: an in-extent node keeps its full object list, even objects
+        # whose own coordinates fall outside the extent.
+        node_pos = self.obj_node_pos
+        mapped_obj = node_pos >= 0
+        keep_obj = keep_obj | (mapped_obj & keep_node[np.where(mapped_obj, node_pos, 0)])
+        kept_positions = node_pos[keep_obj]
+        keep_node = keep_node.copy()
+        keep_node[kept_positions[kept_positions >= 0]] = True
+
+        num_objects = self.num_objects
+        num_nodes = self.num_nodes
+        new_row = np.full(num_objects, -1, dtype=np.int64)
+        new_row[np.flatnonzero(keep_obj)] = np.arange(int(keep_obj.sum()))
+        new_pos = np.full(num_nodes, -1, dtype=np.int64)
+        new_pos[np.flatnonzero(keep_node)] = np.arange(int(keep_node.sum()))
+
+        # Postings: drop rows of dropped objects, renumber the survivors. The
+        # filter preserves posting order and the row renumbering is monotone,
+        # so rows still ascend within each term.
+        post_indptr = np.asarray(self.post_indptr, dtype=np.int64)
+        post_tids = np.repeat(np.arange(self.num_terms), np.diff(post_indptr))
+        keep_post = keep_obj[self.post_rows]
+        sub_post_rows = new_row[self.post_rows[keep_post]].astype(np.int32)
+        counts = np.bincount(post_tids[keep_post], minlength=self.num_terms)
+        sub_post_indptr = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(counts, dtype=np.int64)]
+        )
+        if len(sub_post_rows) <= np.iinfo(np.int32).max:
+            sub_post_indptr = sub_post_indptr.astype(np.int32)
+
+        # Node → object CSR: keep entries whose node AND object survive.
+        node_indptr = np.asarray(self.node_indptr, dtype=np.int64)
+        node_owner = np.repeat(np.arange(num_nodes), np.diff(node_indptr))
+        keep_entry = keep_node[node_owner] & keep_obj[self.node_rows]
+        sub_node_rows = new_row[self.node_rows[keep_entry]].astype(np.int32)
+        owner_counts = np.bincount(
+            new_pos[node_owner[keep_entry]], minlength=int(keep_node.sum())
+        )
+        sub_node_indptr = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(owner_counts, dtype=np.int64)]
+        ).astype(np.int32)
+
+        obj_node_pos = self.obj_node_pos[keep_obj].astype(np.int64)
+        mapped = obj_node_pos >= 0
+        obj_node_pos[mapped] = new_pos[obj_node_pos[mapped]]
+        obj_node_pos = obj_node_pos.astype(np.int32)
+
+        obj_x = np.asarray(self.obj_x[keep_obj])
+        obj_y = np.asarray(self.obj_y[keep_obj])
+        obj_rating = np.asarray(self.obj_rating[keep_obj])
+        node_x = np.asarray(self.node_x[keep_node])
+        node_y = np.asarray(self.node_y[keep_node])
+        lm_log_base = np.asarray(self.lm_log_base)
+
+        bound_arrays = _bound_aggregate_arrays(
+            post_indptr=np.asarray(sub_post_indptr, dtype=np.int64),
+            post_rows=sub_post_rows,
+            post_tfidf=np.asarray(self.post_tfidf[keep_post]),
+            lm_log_mixed=np.asarray(self.lm_log_mixed[keep_post]),
+            lm_log_base=lm_log_base,
+            obj_x=obj_x,
+            obj_y=obj_y,
+            obj_rating=obj_rating,
+            obj_node_pos=obj_node_pos,
+            node_x=node_x,
+            node_y=node_y,
+        )
+
+        arrays = {
+            "post_indptr": sub_post_indptr,
+            "post_rows": sub_post_rows,
+            "post_tfidf": np.asarray(self.post_tfidf[keep_post]),
+            "post_tf": np.asarray(self.post_tf[keep_post]),
+            "lm_log_mixed": np.asarray(self.lm_log_mixed[keep_post]),
+            "lm_log_base": lm_log_base,
+            "object_ids": np.asarray(self.object_ids[keep_obj]),
+            "obj_x": obj_x,
+            "obj_y": obj_y,
+            "obj_rating": obj_rating,
+            "obj_node_pos": obj_node_pos,
+            "node_ids": np.asarray(self.node_ids[keep_node]),
+            "node_x": node_x,
+            "node_y": node_y,
+            "node_indptr": sub_node_indptr,
+            "node_rows": sub_node_rows,
+            "term_df": np.asarray(self.term_df),
+            "corpus_meta": np.asarray(self.corpus_meta),
+        }
+        arrays.update(bound_arrays)
+        return type(self)(self.terms, arrays, lm_smoothing=self.lm_smoothing)
+
     # ------------------------------------------------------------------ pickling
     def __getstate__(self):
         state = dict(self.__dict__)
@@ -308,8 +444,13 @@ class ColumnarScoringIndex:
 
     @property
     def num_objects(self) -> int:
-        """Number of object rows (= corpus size ``|D|``)."""
+        """Number of object rows in this index (for a shard: its own objects)."""
         return len(self.object_ids)
+
+    @property
+    def global_num_objects(self) -> int:
+        """Corpus size ``|D|`` the IDF weights use (full corpus, even for shards)."""
+        return int(self.corpus_meta[0])
 
     @property
     def num_nodes(self) -> int:
@@ -331,11 +472,17 @@ class ColumnarScoringIndex:
         return self._term_ids.get(term)
 
     def document_frequency(self, term: str) -> int:
-        """Return the number of objects containing ``term`` (``f_t``)."""
+        """Return the number of corpus objects containing ``term`` (``f_t``).
+
+        Reads the persisted global ``term_df`` column, not the local postings
+        length: on a spatial shard the two differ, and the IDF weights must be
+        computed against the full corpus for shard answers to stay bit-identical
+        to the unsharded index.
+        """
         tid = self._term_ids.get(term)
         if tid is None:
             return 0
-        return int(self.post_indptr[tid + 1] - self.post_indptr[tid])
+        return int(self.term_df[tid])
 
     def postings(self, term: str) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Return ``(object_rows, tfidf_weights, raw_tf)`` slices for ``term``."""
@@ -375,7 +522,7 @@ class ColumnarScoringIndex:
         (unknown terms carry weight 0 and are dropped from the id list, but still
         participate — as zeros — in the norm, exactly as in the reference).
         """
-        corpus_size = self.num_objects
+        corpus_size = self.global_num_objects
         weighted: List[Tuple[int, float]] = []
         norm_sq = 0.0
         for term in keywords:
@@ -603,12 +750,18 @@ ARRAY_FIELDS: Tuple[str, ...] = (
     "cell_node_mass",
     "cell_obj_count",
     "cell_post_count",
+    "term_df",
+    "corpus_meta",
 )
 """Names of the persisted array columns, in canonical order.
 
 The eight ``bound_*`` / ``*_cell`` / ``cell_*`` columns (format version 3) are
 the per-grid-cell aggregates backing :class:`repro.core.bounds.UpperBoundIndex`;
-see :func:`_bound_aggregate_arrays` for their definitions.
+see :func:`_bound_aggregate_arrays` for their definitions. ``term_df`` and
+``corpus_meta`` (format version 4) persist the corpus-global document
+frequencies and corpus size so spatial shards — whose postings cover only their
+own objects — still compute the exact global IDF weights (see
+:meth:`ColumnarScoringIndex.subset_for_extent`).
 """
 
 

@@ -43,7 +43,7 @@ class TestInfo:
     def test_info_prints_manifest_fields(self, cli_artifact, capsys):
         assert main(["info", str(cli_artifact), "--verify"]) == 0
         out = capsys.readouterr().out
-        assert "format version : 3" in out
+        assert f"format version : {FORMAT_VERSION}" in out
         assert "fingerprint" in out
         assert "verified ok" in out
 
@@ -130,3 +130,42 @@ class TestServeBatch:
             "serve-batch", str(cli_artifact), "--requests", str(requests),
         ]) == 2
         assert "line 1" in capsys.readouterr().err
+
+
+class TestSharding:
+    @pytest.fixture(scope="class")
+    def sharded_artifact(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli-shards") / "artifact"
+        assert main(BUILD_ARGS + [
+            "--out", str(path), "--shards", "2", "--halo", "500",
+        ]) == 0
+        return path
+
+    def test_build_shards_writes_verifiable_sub_artifacts(
+        self, sharded_artifact, capsys
+    ):
+        shard_dirs = sorted((sharded_artifact / "shards").glob("shard-*"))
+        assert len(shard_dirs) == 2
+        assert (sharded_artifact / "shards" / "shards.json").is_file()
+        for shard_dir in shard_dirs:
+            assert main(["info", str(shard_dir), "--verify"]) == 0
+            out = capsys.readouterr().out
+            assert "verified ok" in out
+            assert "shard" in out and "of 2" in out
+
+    def test_serve_batch_processes_uses_the_sharded_gateway(
+        self, sharded_artifact, capsys
+    ):
+        assert main([
+            "serve-batch", str(sharded_artifact), "--synthesize", "4",
+            "--delta", "600", "--processes", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "served 4 request(s)" in out
+        assert "2 process(es)" in out and "2 shard(s)" in out
+
+    def test_non_positive_shards_fails_cleanly(self, tmp_path, capsys):
+        assert main(BUILD_ARGS + [
+            "--out", str(tmp_path / "bad"), "--shards", "0",
+        ]) == 2
+        assert "--shards" in capsys.readouterr().err

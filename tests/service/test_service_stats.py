@@ -1,0 +1,134 @@
+"""ServiceStats merging and the StatsCollector's atomicity guarantees."""
+
+from __future__ import annotations
+
+import pickle
+import threading
+
+from repro.service.cache import CacheStats
+from repro.service.keys import ResultKey
+from repro.service.stats import QueryTiming, ServiceStats, StatsCollector, StatTotals
+from repro.textindex.relevance import ScoringMode
+
+
+def _timing(index: int, result_hit: bool = False, instance_hit: bool = False):
+    return QueryTiming(
+        key=ResultKey.create((f"kw{index}",), 100.0 + index, None, 1, "tgen",
+                             ScoringMode.TEXT_RELEVANCE),
+        algorithm="tgen",
+        result_cache_hit=result_hit,
+        instance_cache_hit=instance_hit,
+        build_seconds=0.25,
+        solve_seconds=0.5,
+        total_seconds=1.0,
+    )
+
+
+def _cache(hits: int, misses: int) -> CacheStats:
+    return CacheStats(hits=hits, misses=misses, evictions=0, size=0, max_size=8)
+
+
+def test_totals_match_timing_derivation():
+    timings = [_timing(0), _timing(1, result_hit=True), _timing(2, instance_hit=True)]
+    totals = StatTotals.from_timings(timings)
+    assert totals.queries == 3
+    assert totals.result_hits == 1
+    assert totals.instance_hits == 1
+    assert totals.total_seconds == 3.0
+    # A snapshot without explicit totals derives the identical values.
+    stats = ServiceStats(timings=timings, result_cache=_cache(1, 2),
+                         instance_cache=_cache(1, 1))
+    assert stats.queries == 3
+    assert stats.result_hit_rate == 1 / 3
+    assert stats.mean_latency_seconds == 1.0
+
+
+def test_merge_sums_counters_and_concatenates_timings():
+    part_a = ServiceStats(timings=[_timing(0), _timing(1, result_hit=True)],
+                          result_cache=_cache(1, 1), instance_cache=_cache(0, 1))
+    part_b = ServiceStats(timings=[_timing(2)],
+                          result_cache=_cache(0, 1), instance_cache=_cache(1, 0))
+    merged = ServiceStats.merge([part_a, part_b])
+    assert merged.queries == 3
+    assert merged.result_hits == 1
+    assert len(merged.timings) == 3
+    assert merged.result_cache.hits == 1
+    assert merged.result_cache.misses == 2
+    assert merged.instance_cache.hits == 1
+    assert merged.total_seconds == 3.0
+    # Merging nothing is a well-defined empty snapshot.
+    empty = ServiceStats.merge([])
+    assert empty.queries == 0
+    assert empty.mean_latency_seconds == 0.0
+    assert empty.result_hit_rate == 0.0
+
+
+def test_merge_is_associative_over_worker_snapshots():
+    parts = [
+        ServiceStats(timings=[_timing(i)], result_cache=_cache(i, 1),
+                     instance_cache=_cache(0, i))
+        for i in range(4)
+    ]
+    all_at_once = ServiceStats.merge(parts)
+    pairwise = ServiceStats.merge(
+        [ServiceStats.merge(parts[:2]), ServiceStats.merge(parts[2:])]
+    )
+    assert all_at_once.queries == pairwise.queries
+    assert all_at_once.result_cache == pairwise.result_cache
+    assert all_at_once.totals == pairwise.totals
+    assert all_at_once.timings == pairwise.timings
+
+
+def test_stats_are_picklable():
+    """Snapshots travel from worker processes to the gateway."""
+    stats = ServiceStats(timings=[_timing(0)], result_cache=_cache(1, 0),
+                         instance_cache=_cache(0, 1),
+                         totals=StatTotals.from_timings([_timing(0)]))
+    restored = pickle.loads(pickle.dumps(stats))
+    assert restored.queries == 1
+    assert restored.timings == stats.timings
+    assert restored.totals == stats.totals
+
+
+def test_collector_hammer_no_dropped_counts():
+    """Concurrent record() calls must never lose a count (read-modify-write race)."""
+    collector = StatsCollector()
+    threads_n, per_thread = 8, 200
+    barrier = threading.Barrier(threads_n)
+
+    def pound(worker: int) -> None:
+        barrier.wait()
+        for i in range(per_thread):
+            collector.record(_timing(worker * per_thread + i,
+                                     result_hit=(i % 2 == 0),
+                                     instance_hit=(i % 4 == 0)))
+
+    threads = [threading.Thread(target=pound, args=(w,)) for w in range(threads_n)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    snapshot = collector.snapshot(result_cache=_cache(0, 0), instance_cache=_cache(0, 0))
+    expected = threads_n * per_thread
+    assert snapshot.queries == expected
+    assert len(snapshot.timings) == expected
+    assert snapshot.result_hits == threads_n * (per_thread // 2)
+    assert snapshot.instance_hits == threads_n * (per_thread // 4)
+    assert snapshot.totals == StatTotals.from_timings(snapshot.timings)
+    # Exact float equality: totals are folded once per record, in order, under
+    # the lock — identical accumulation to the sequential derivation above.
+    assert snapshot.total_seconds == float(expected)
+
+
+def test_collector_snapshot_is_consistent_under_reset():
+    collector = StatsCollector()
+    collector.record_many([_timing(i) for i in range(5)])
+    snapshot = collector.snapshot(result_cache=_cache(0, 0), instance_cache=_cache(0, 0))
+    assert snapshot.queries == 5
+    collector.reset()
+    empty = collector.snapshot(result_cache=_cache(0, 0), instance_cache=_cache(0, 0))
+    assert empty.queries == 0
+    assert empty.timings == []
+    # The first snapshot froze its own copy: resetting did not mutate it.
+    assert snapshot.queries == 5
