@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-parity docs-check compile-check bench-service bench bench-smoke bench-json artifact-smoke shard-smoke
+.PHONY: test test-parity test-mutation docs-check compile-check bench-service bench bench-smoke bench-json artifact-smoke shard-smoke compact-smoke
 
 # Tier-1 suite (includes the docs link/section check).
 test:
@@ -13,6 +13,14 @@ test:
 test-parity:
 	$(PYTHON) -m pytest tests/core/test_solver_backend_parity.py \
 		tests/core/test_pruning_parity.py tests/core/test_backend_parity.py -q
+
+# The mutable-world gate: the mutation-parity suite (overlay serving and
+# post-compaction results byte-identical to a cold rebuild of the mutated
+# corpus), the cache-staleness hammer tests, and the CLI mutate/compact round
+# trips. Run after touching the overlay merge, the compactor or the caches.
+test-mutation:
+	$(PYTHON) -m pytest tests/service/test_generations.py \
+		"tests/service/test_cli.py::TestMutateAndCompact" -q
 
 # Fail on broken intra-repo doc links or missing README sections.
 docs-check:
@@ -36,7 +44,7 @@ bench:
 # datasets) under a hard time cap — a quick regression gate over the whole
 # benchmark surface, including the network-backend comparison and the
 # artifact-persistence load-vs-rebuild check (bench_persist.py).
-bench-smoke:
+bench-smoke: compact-smoke
 	REPRO_BENCH_SMOKE=1 timeout 1200 $(PYTHON) -m pytest benchmarks/ -q \
 		-o python_files="bench_*.py"
 
@@ -56,6 +64,8 @@ bench-json:
 	REPRO_BENCH_JSON=BENCH_service.json $(PYTHON) -m pytest \
 		benchmarks/bench_service_throughput.py::test_bench_process_scaling \
 		-q -s -o python_files="bench_*.py"
+	REPRO_BENCH_JSON=BENCH_generations.json $(PYTHON) -m pytest \
+		benchmarks/bench_generations.py -q -s -o python_files="bench_*.py"
 
 # End-to-end artifact gate through the CLI: build a small artifact, verify and
 # reload it, and answer one query per solver (exact gets a small window so its
@@ -75,6 +85,31 @@ artifact-smoke:
 	$(PYTHON) -m repro serve-batch $(ARTIFACT_SMOKE_DIR)/ny --synthesize 8 \
 		--delta 800 --workers 2 --repeat 2
 	rm -rf $(ARTIFACT_SMOKE_DIR)
+
+# End-to-end mutable-world gate through the CLI: build a small artifact,
+# record mutations in the delta log, answer a query from the merged (overlay)
+# world, compact into gen-0001, verify the new generation's checksums, and
+# answer one query per solver from it (exact gets a small window so its
+# enumeration stays tiny). Leaves no files behind.
+COMPACT_SMOKE_DIR := .compact-smoke
+compact-smoke:
+	rm -rf $(COMPACT_SMOKE_DIR)
+	$(PYTHON) -m repro build --dataset ny --rows 16 --cols 16 --objects 500 \
+		--clusters 6 --seed 3 --out $(COMPACT_SMOKE_DIR)/ny
+	$(PYTHON) -m repro mutate $(COMPACT_SMOKE_DIR)/ny \
+		--add '{"id": 90001, "x": 350.0, "y": 350.0, "keywords": ["cafe", "bar"], "rating": 2.5}' \
+		--set-rating 3=4.5 --remove 7
+	$(PYTHON) -m repro query $(COMPACT_SMOKE_DIR)/ny \
+		--keywords cafe,restaurant --delta 800
+	$(PYTHON) -m repro compact $(COMPACT_SMOKE_DIR)/ny
+	$(PYTHON) -m repro info $(COMPACT_SMOKE_DIR)/ny/gen-0001 --verify
+	for alg in app tgen greedy; do \
+		$(PYTHON) -m repro query $(COMPACT_SMOKE_DIR)/ny \
+			--keywords cafe,restaurant --delta 800 --algorithm $$alg || exit 1; \
+	done
+	$(PYTHON) -m repro query $(COMPACT_SMOKE_DIR)/ny --keywords cafe \
+		--delta 500 --region 100,100,450,450 --algorithm exact
+	rm -rf $(COMPACT_SMOKE_DIR)
 
 # End-to-end sharded-serving gate through the CLI: build an artifact with 4
 # tile shards, verify every shard sub-artifact's manifest and checksums, and

@@ -12,7 +12,12 @@ share one prebuilt artifact instead of each paying the full indexing pipeline:
   the artifact (CSR arrays memory-mapped) and answer one LCMSR query;
 * ``python -m repro serve-batch artifacts/ny --synthesize 32`` — run a batch of
   queries through :class:`~repro.service.query_service.QueryService` and print the
-  timing / cache statistics.
+  timing / cache statistics;
+* ``python -m repro mutate artifacts/ny --remove 17`` — record dataset mutations
+  in the artifact's delta log; queries merge them at serving time until the next
+  compaction;
+* ``python -m repro compact artifacts/ny`` — re-freeze base + delta into a new
+  ``gen-NNNN/`` generation directory and flip the ``CURRENT`` pointer atomically.
 
 Every subcommand exits with status 2 on an :class:`~repro.exceptions.ReproError`
 (bad artifact, malformed query, ...) and prints the reason to stderr.
@@ -270,6 +275,97 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------- mutate
+def _parse_op_json(raw: str, kind: str) -> dict:
+    """Parse one ``--add``/``--update`` JSON object into a mutation op."""
+    try:
+        op = json.loads(raw)
+    except ValueError as exc:
+        raise QueryError(f"malformed JSON for --{kind}: {exc}") from exc
+    if not isinstance(op, dict):
+        raise QueryError(f"--{kind} expects a JSON object, got {raw!r}")
+    op["op"] = kind
+    return op
+
+
+def _collect_mutation_ops(args: argparse.Namespace) -> List[dict]:
+    """Assemble the op list: ``--ops`` file first, then the per-flag groups."""
+    ops: List[dict] = []
+    if args.ops is not None:
+        try:
+            payload = json.loads(Path(args.ops).read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise QueryError(f"cannot read mutation ops from {args.ops}: {exc}") from exc
+        listed = payload.get("ops") if isinstance(payload, dict) else payload
+        if not isinstance(listed, list):
+            raise QueryError(
+                f"{args.ops} must hold a JSON list of ops (or {{\"ops\": [...]}})"
+            )
+        ops.extend(listed)
+    ops.extend(_parse_op_json(raw, "add") for raw in args.add)
+    ops.extend(_parse_op_json(raw, "update") for raw in args.update)
+    for raw in args.remove:
+        try:
+            ops.append({"op": "remove", "id": int(raw)})
+        except ValueError as exc:
+            raise QueryError(f"--remove expects an object id, got {raw!r}") from exc
+    for raw in args.set_rating:
+        ident, sep, rating = raw.partition("=")
+        try:
+            if not sep:
+                raise ValueError("missing '='")
+            ops.append({"op": "rate", "id": int(ident), "rating": float(rating)})
+        except ValueError as exc:
+            raise QueryError(
+                f"--set-rating expects ID=RATING (e.g. 17=4.5), got {raw!r}: {exc}"
+            ) from exc
+    return ops
+
+
+def _cmd_mutate(args: argparse.Namespace) -> int:
+    from repro.engine import LCMSREngine
+    from repro.service.generations import DeltaOverlay, append_delta_ops, apply_ops
+
+    ops = _collect_mutation_ops(args)
+    if not ops:
+        raise QueryError(
+            "no mutations given: pass --add / --update / --remove / --set-rating "
+            "or --ops FILE"
+        )
+    # Loading the engine replays the existing delta log; applying the new ops on
+    # top validates the whole sequence before anything is written to disk.
+    engine = LCMSREngine.from_artifact(args.artifact)
+    overlay = engine.overlay
+    if overlay is None:
+        overlay = DeltaOverlay(engine.bundle)
+    apply_ops(overlay, ops)
+    total = append_delta_ops(args.artifact, ops)
+    print(f"recorded {len(ops)} mutation(s) in the delta log at {args.artifact}")
+    print(f"  pending ops     : {total}")
+    print(f"  touched objects : {overlay.pending_count}")
+    print(f"  served merged at query time; run `python -m repro compact {args.artifact}`")
+    return 0
+
+
+# ---------------------------------------------------------------------- compact
+def _cmd_compact(args: argparse.Namespace) -> int:
+    from repro.engine import LCMSREngine
+    from repro.service.generations import Compactor
+
+    engine = LCMSREngine.from_artifact(args.artifact, pruning=args.pruning)
+    overlay = engine.overlay
+    if overlay is None or not overlay.has_pending:
+        print(f"nothing to compact: no pending mutations at {args.artifact}")
+        return 0
+    report = Compactor(engine, root=args.artifact).compact()
+    print(f"compacted {report.mutations} mutation(s) into {report.generation}")
+    print(f"  path        : {report.path}")
+    print(f"  fingerprint : {report.fingerprint[:16]}…")
+    print(f"  resharded   : {'yes' if report.resharded else 'no'}")
+    print(f"  seconds     : {report.seconds:.2f}")
+    return 0
+
+
 # ---------------------------------------------------------------------- parser
 def build_parser() -> argparse.ArgumentParser:
     """Build the ``python -m repro`` argument parser (exposed for tests/docs)."""
@@ -357,6 +453,47 @@ def build_parser() -> argparse.ArgumentParser:
         "way, 'off' forces the unpruned reference paths",
     )
     serve.set_defaults(func=_cmd_serve_batch)
+
+    mutate = subparsers.add_parser(
+        "mutate", help="record dataset mutations in the artifact's delta log"
+    )
+    mutate.add_argument("artifact", help="artifact root directory")
+    mutate.add_argument(
+        "--add", action="append", metavar="JSON", default=[],
+        help='add an object: \'{"id": 900, "x": 10.0, "y": 20.0, '
+        '"keywords": ["cafe"], "rating": 2.0}\' (repeatable)',
+    )
+    mutate.add_argument(
+        "--update", action="append", metavar="JSON", default=[],
+        help="replace an existing object (same JSON shape as --add; repeatable)",
+    )
+    mutate.add_argument(
+        "--remove", action="append", metavar="ID", default=[],
+        help="remove the object with this id (repeatable)",
+    )
+    mutate.add_argument(
+        "--set-rating", action="append", metavar="ID=RATING", default=[],
+        dest="set_rating",
+        help="change an object's rating, e.g. --set-rating 17=4.5 (repeatable)",
+    )
+    mutate.add_argument(
+        "--ops",
+        help='JSON file with a list of mutation ops (or {"ops": [...]}); '
+        "applied before the per-flag groups",
+    )
+    mutate.set_defaults(func=_cmd_mutate)
+
+    compact = subparsers.add_parser(
+        "compact",
+        help="re-freeze base + pending mutations into a new gen-NNNN generation",
+    )
+    compact.add_argument("artifact", help="artifact root directory")
+    compact.add_argument(
+        "--pruning", choices=("auto", "on", "off"), default="auto",
+        help="pruning policy baked into the compacting engine (results are "
+        "byte-identical either way)",
+    )
+    compact.set_defaults(func=_cmd_compact)
     return parser
 
 

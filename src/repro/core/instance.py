@@ -265,6 +265,7 @@ def build_instance(
     node_weights: Optional[Mapping[int, float]] = None,
     pipeline: Optional[WeightPipeline] = None,
     pruning: str = "auto",
+    overlay=None,
 ) -> ProblemInstance:
     """Build the solver input for ``query`` over ``network``.
 
@@ -291,11 +292,19 @@ def build_instance(
     σ-mass bound is exactly zero, the σ computation is bypassed entirely (the
     window graph is still built identically).
 
+    ``overlay`` (pipeline path only) is a
+    :class:`~repro.service.generations.DeltaOverlay` with pending mutations:
+    node weights then come from the overlay's base+delta merge instead of the
+    frozen pipeline, and the zero-σ-mass window skip is disabled — the cell
+    mass bounds describe the base generation only, so a window empty in the
+    base may still hold a positive overlay contribution.
+
     Returns:
         The :class:`ProblemInstance` restricted to ``Q.Λ``.
 
     Raises:
-        QueryError: If no weight source (or more than one) is given.
+        QueryError: If no weight source (or more than one) is given, or if
+            ``overlay`` is passed without ``pipeline``.
     """
     sources = sum(
         1
@@ -309,6 +318,8 @@ def build_instance(
         )
     if (grid_index is None) != (mapping is None):
         raise QueryError("grid_index and mapping must be provided together")
+    if overlay is not None and pipeline is None:
+        raise QueryError("overlay merging requires the pipeline weight source")
 
     start = time.perf_counter()
     if query.region is not None:
@@ -322,7 +333,15 @@ def build_instance(
 
     weights: Dict[int, float]
     if pipeline is not None:
-        if (
+        if overlay is not None and overlay.has_pending:
+            # Base+delta merge: base columnar sums with superseded rows masked
+            # out, overlay objects re-scored by the scalar reference
+            # arithmetic. The zero-mass skip below must not run — the cell
+            # bounds know nothing about pending mutations.
+            weights = overlay.node_weights(
+                query.keywords, window=query.region, node_window=query.region
+            )
+        elif (
             pruning != "off"
             and query.region is not None
             and pipeline.bounds.window_mass_bound(query.region) == 0.0

@@ -126,6 +126,9 @@ class LCMSREngine:
         self._solver_generation = 0
         self._solver_lock = threading.Lock()
         self._pruning = pruning
+        self._bundle_generation = 0
+        self._bundle_lock = threading.Lock()
+        self._overlay = None
 
     @classmethod
     def from_bundle(
@@ -170,6 +173,7 @@ class LCMSREngine:
         mmap: bool = True,
         verify: bool = True,
         pruning: str = "auto",
+        with_overlay: bool = True,
     ) -> "LCMSREngine":
         """Create an engine from a persisted index artifact — no offline build.
 
@@ -178,6 +182,13 @@ class LCMSREngine:
         is loaded with the CSR arrays memory-mapped read-only, so the engine is
         query-ready in I/O-bound time instead of index-rebuild time.
 
+        Generation-aware: when the artifact root carries a ``CURRENT`` pointer
+        (written by ``python -m repro compact``), the generation it names is
+        loaded instead of the base artifact; and when a delta log with pending
+        mutations exists at the root, the corresponding
+        :class:`~repro.service.generations.DeltaOverlay` is attached so queries
+        serve the mutated world.
+
         Args:
             path: The artifact directory.
             default_algorithm: Algorithm used when a query does not name one.
@@ -185,19 +196,33 @@ class LCMSREngine:
             verify: Verify artifact checksums before loading.
             pruning: Bound-based pruning policy for the instances the engine
                 builds (see :data:`~repro.core.instance.PRUNING_POLICIES`).
+            with_overlay: Attach the pending delta-log overlay (default). The
+                sharded service disables this for its workers — shards serve
+                the frozen generation only.
 
         Returns:
             An engine serving queries from the loaded bundle.
 
         Raises:
             ArtifactError: If the artifact is missing, corrupt or written by an
-                unsupported format version.
+                unsupported format version, or if ``CURRENT`` points at a
+                missing/partial generation.
             QueryError: If ``default_algorithm`` or ``pruning`` is unknown.
         """
-        bundle = IndexBundle.load(path, mmap=mmap, verify=verify)
-        return cls.from_bundle(
+        # Deferred: repro.service.generations imports the service layer, which
+        # imports this module.
+        from repro.service.generations import overlay_from_delta_log, resolve_generation
+
+        resolved = resolve_generation(path)
+        bundle = IndexBundle.load(resolved, mmap=mmap, verify=verify)
+        engine = cls.from_bundle(
             bundle, default_algorithm=default_algorithm, pruning=pruning
         )
+        if with_overlay:
+            overlay = overlay_from_delta_log(bundle, path)
+            if overlay is not None:
+                engine.attach_overlay(overlay)
+        return engine
 
     # ------------------------------------------------------------------ configuration
     @property
@@ -269,6 +294,64 @@ class LCMSREngine:
         """
         return self._solver_generation
 
+    @property
+    def bundle_generation(self) -> int:
+        """Counter bumped by every :meth:`swap_bundle` call.
+
+        The solver-generation idea extended to the index state: the serving
+        layer folds this into its cache keys and clears its caches when it
+        changes, so a result computed against generation N is never served
+        after a compaction swaps in generation N+1.
+        """
+        return self._bundle_generation
+
+    @property
+    def overlay(self):
+        """The attached :class:`~repro.service.generations.DeltaOverlay`, or ``None``."""
+        return self._overlay
+
+    def attach_overlay(self, overlay) -> None:
+        """Attach (or detach, with ``None``) a delta overlay.
+
+        While an overlay with pending mutations is attached,
+        :meth:`build_instance` merges base columnar σ_v with the overlay's
+        contributions, so queries serve the mutated world without a rebuild.
+        """
+        self._overlay = overlay
+
+    def swap_bundle(self, bundle: IndexBundle) -> None:
+        """Atomically replace the served bundle (a generation swap).
+
+        Called by the :class:`~repro.service.generations.Compactor` after a
+        re-freeze. The overlay is dropped — its mutations are baked into the
+        new bundle — and :attr:`bundle_generation` is bumped. Publication
+        order mirrors :meth:`configure_solver`: the new bundle (and the
+        overlay drop) land BEFORE the generation bump, so a lock-free reader
+        pairing (generation, bundle) can at worst cache a new-world result
+        under the old generation key — which the bump then retires — never a
+        stale result under the new key.
+        """
+        with self._bundle_lock:
+            self._bundle = bundle
+            self._overlay = None
+            self._bundle_generation += 1
+
+    @property
+    def bundle_cache_key(self) -> str:
+        """Identity string for the world this engine currently answers from.
+
+        Folds the bundle's dataset fingerprint, the bundle generation and the
+        overlay mutation version, so two engines over different artifacts (or
+        one engine across a generation swap / pending mutations) can never
+        share a service cache entry.
+        """
+        overlay = self._overlay
+        overlay_version = overlay.version if overlay is not None else 0
+        return (
+            f"{self._bundle.fingerprint()[:16]}"
+            f":g{self._bundle_generation}:o{overlay_version}"
+        )
+
     def configure_solver(self, name: str, solver: SolverUnion) -> None:
         """Replace or add a named solver (e.g. an APP with different α/β).
 
@@ -331,11 +414,25 @@ class LCMSREngine:
         Returns:
             The windowed, weighted :class:`~repro.core.instance.ProblemInstance`.
         """
-        graph = self._bundle.graph_view()
-        pipeline = self._bundle.weight_pipeline()
+        bundle = self._bundle
+        graph = bundle.graph_view()
+        pipeline = bundle.weight_pipeline()
+        overlay = self._overlay
+        if overlay is not None and overlay.has_pending:
+            if overlay.bundle is not bundle:
+                # A swap landed between reads; the overlay's mutations are in
+                # the new bundle already, so serve it frozen.
+                overlay = None
+            elif pipeline is None:
+                raise QueryError(
+                    "overlay serving needs the bundle's columnar weight pipeline"
+                )
+        else:
+            overlay = None
         if pipeline is not None:
             return build_instance(
-                graph, query, pipeline=pipeline, pruning=self._pruning
+                graph, query, pipeline=pipeline, overlay=overlay,
+                pruning=self._pruning,
             )
         if self.scoring_mode is ScoringMode.TEXT_RELEVANCE:
             return build_instance(

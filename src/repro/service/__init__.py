@@ -22,6 +22,11 @@ into a high-throughput service:
   edges, :class:`ShardRouter` maps windows to shards, and
   :class:`ShardedQueryService` is the ``ProcessPoolExecutor`` scatter-gather
   gateway with admission control — byte-identical to the unsharded engine.
+* :mod:`repro.service.generations` — the mutable world: :class:`DeltaOverlay`
+  records add / update / remove / rating mutations over a frozen bundle and
+  merges them into node weights at query time; :class:`Compactor` re-freezes
+  base + delta into a new ``gen-NNNN/`` artifact generation and swaps it into
+  the live engine; :func:`resolve_generation` follows the ``CURRENT`` pointer.
 """
 
 from repro.service.bundle import IndexBundle
@@ -38,6 +43,25 @@ from repro.service.persist import (
     verify_artifact,
 )
 from repro.service.query_service import QueryRequest, QueryService, ServiceResult
+from repro.service.generations import (
+    CURRENT_NAME,
+    DELTA_LOG_NAME,
+    GENERATION_PREFIX,
+    CompactionReport,
+    Compactor,
+    DeltaOverlay,
+    append_delta_ops,
+    apply_op,
+    apply_ops,
+    clear_delta_log,
+    generation_dirs,
+    next_generation_name,
+    overlay_from_delta_log,
+    read_delta_log,
+    resolve_generation,
+    set_current_generation,
+    write_delta_log,
+)
 from repro.service.sharding import (
     ShardedQueryService,
     ShardInfo,
@@ -79,4 +103,21 @@ __all__ = [
     "build_shards",
     "load_shard_set",
     "merge_topk",
+    "DeltaOverlay",
+    "Compactor",
+    "CompactionReport",
+    "CURRENT_NAME",
+    "DELTA_LOG_NAME",
+    "GENERATION_PREFIX",
+    "append_delta_ops",
+    "apply_op",
+    "apply_ops",
+    "clear_delta_log",
+    "generation_dirs",
+    "next_generation_name",
+    "overlay_from_delta_log",
+    "read_delta_log",
+    "resolve_generation",
+    "set_current_generation",
+    "write_delta_log",
 ]

@@ -298,6 +298,29 @@ class IndexBundle:
                 object.__setattr__(self, "network", thawed)
         return self.network
 
+    # A plain class attribute (no annotation), so it is NOT a dataclass field:
+    # the lazily computed fingerprint cache behind :meth:`fingerprint`.
+    _fingerprint = None
+
+    def fingerprint(self) -> str:
+        """The dataset fingerprint of this bundle's (network, corpus).
+
+        Computed lazily with :func:`repro.service.persist.dataset_fingerprint`
+        and cached on the bundle (loading an artifact seeds the cache from the
+        manifest, so loaded bundles never re-hash).  Two bundles answer queries
+        identically only if their fingerprints match, which is why the service
+        cache keys fold this in.
+        """
+        cached = self._fingerprint
+        if cached is None:
+            from repro.service.persist import dataset_fingerprint
+
+            source = self.compact if self.compact is not None else self.network
+            cached = dataset_fingerprint(source, self.corpus)
+            # Lock-free single-assignment, same pattern as road_network().
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
+
     def weight_pipeline(self) -> Optional[WeightPipeline]:
         """The vectorised σ_v pipeline queries should take, or ``None``.
 

@@ -62,23 +62,32 @@ class InstanceKey:
         keywords: Canonical keyword tuple (sorted, deduplicated, lower-cased).
         region: The window as a coordinate tuple, or ``None`` for the whole network.
         scoring_mode: The scoring mode the weights were computed under.
+        bundle_key: The engine's
+            :attr:`~repro.engine.LCMSREngine.bundle_cache_key` — dataset
+            fingerprint + bundle generation + overlay version — so instances
+            built over different artifacts, across a generation swap, or under
+            different pending mutations never collide. Defaults to ``""`` for
+            direct constructions outside the serving path.
     """
 
     keywords: Tuple[str, ...]
     region: Optional[RegionTupleKey]
     scoring_mode: str
+    bundle_key: str = ""
 
     @staticmethod
     def create(
         keywords: Iterable[str],
         region: Optional[Rectangle],
         scoring_mode: ScoringMode,
+        bundle_key: str = "",
     ) -> "InstanceKey":
         """Build the canonical instance key for a query's index probe."""
         return InstanceKey(
             keywords=normalize_keywords(keywords),
             region=region_key(region),
             scoring_mode=scoring_mode.value,
+            bundle_key=bundle_key,
         )
 
 
@@ -99,6 +108,13 @@ class ResultKey:
             :attr:`~repro.engine.LCMSREngine.solver_generation` at execution time,
             so ``configure_solver`` replacing a solver invalidates its cached
             results instead of silently serving the old solver's answers.
+        bundle_key: The engine's
+            :attr:`~repro.engine.LCMSREngine.bundle_cache_key` at execution
+            time — dataset fingerprint + bundle generation + overlay version —
+            so two services over different artifacts in one process can never
+            cross-pollinate, and a generation swap (or a new pending mutation)
+            retires every earlier result. Defaults to ``""`` for direct
+            constructions outside the serving path.
     """
 
     keywords: Tuple[str, ...]
@@ -108,6 +124,7 @@ class ResultKey:
     algorithm: str
     scoring_mode: str
     solver_generation: int = 0
+    bundle_key: str = ""
 
     @staticmethod
     def create(
@@ -118,6 +135,7 @@ class ResultKey:
         algorithm: str,
         scoring_mode: ScoringMode,
         solver_generation: int = 0,
+        bundle_key: str = "",
     ) -> "ResultKey":
         """Build the canonical result key for one query execution."""
         return ResultKey(
@@ -128,6 +146,7 @@ class ResultKey:
             algorithm=algorithm.lower(),
             scoring_mode=scoring_mode.value,
             solver_generation=int(solver_generation),
+            bundle_key=bundle_key,
         )
 
     @property
@@ -137,4 +156,5 @@ class ResultKey:
             keywords=self.keywords,
             region=self.region,
             scoring_mode=self.scoring_mode,
+            bundle_key=self.bundle_key,
         )

@@ -535,7 +535,7 @@ def load_bundle(
     scorer.attach_columnar(columnar)
 
     elapsed = time.perf_counter() - start
-    return IndexBundle(
+    bundle = IndexBundle(
         network=None,
         corpus=corpus,
         mapping=mapping,
@@ -548,6 +548,10 @@ def load_bundle(
         compact=compact,
         columnar=columnar,
     )
+    # Seed the lazy fingerprint cache from the manifest: loaded bundles never
+    # need to re-hash their own content to identify themselves.
+    object.__setattr__(bundle, "_fingerprint", manifest.fingerprint)
+    return bundle
 
 
 # ---------------------------------------------------------------------- caching

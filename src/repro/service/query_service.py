@@ -137,6 +137,8 @@ class QueryService:
         self._pool_lock = threading.Lock()
         self._pool: Optional[ThreadPoolExecutor] = None
         self._closed = False
+        self._generation_lock = threading.Lock()
+        self._seen_generation = engine.bundle_generation
 
     # ------------------------------------------------------------------ lifecycle
     def __enter__(self) -> "QueryService":
@@ -194,6 +196,25 @@ class QueryService:
         self._result_cache.clear()
         self._instance_cache.clear()
 
+    def _invalidate_on_generation_change(self) -> None:
+        """Drop every cache entry once a bundle (generation) swap is observed.
+
+        Correctness does not depend on this — every key embeds the engine's
+        ``bundle_cache_key``, so an entry from generation N can never be
+        *served* for a generation-N+1 query — but without the sweep the
+        retired entries would linger until LRU pressure evicted them. The
+        double-checked lock keeps the hot path to one integer comparison.
+        """
+        generation = self._engine.bundle_generation
+        if generation == self._seen_generation:
+            return
+        with self._generation_lock:
+            if generation == self._seen_generation:
+                return
+            self._result_cache.clear()
+            self._instance_cache.clear()
+            self._seen_generation = generation
+
     # ------------------------------------------------------------------ execution
     def execute(self, request: QueryRequest) -> ServiceResult:
         """Serve one request synchronously on the calling thread.
@@ -223,6 +244,7 @@ class QueryService:
         and the accounting back to the gateway in one picklable pair.
         """
         start = time.perf_counter()
+        self._invalidate_on_generation_change()
         algorithm = (request.algorithm or self._engine.default_algorithm).lower()
         # The query normalises its keywords at construction (strip / lower /
         # de-duplicate) and rejects empty keyword sets; the cache keys are then
@@ -231,10 +253,11 @@ class QueryService:
         query = LCMSRQuery.create(
             request.keywords, delta=request.delta, region=request.region, k=request.k
         )
-        # The generation must be read BEFORE the solver is resolved: if a
-        # concurrent configure_solver lands in between, the old solver's answer
-        # gets stored under the old generation (harmless, never served again)
-        # instead of the new one (permanently stale).
+        # The generations (solver and bundle) must be read BEFORE the solver /
+        # bundle state is used: if a concurrent configure_solver or
+        # swap_bundle lands in between, the old answer gets stored under the
+        # old generation (harmless, never served again) instead of the new one
+        # (permanently stale).
         key = ResultKey.create(
             keywords=query.keywords,
             delta=request.delta,
@@ -243,6 +266,7 @@ class QueryService:
             algorithm=algorithm,
             scoring_mode=self._engine.scoring_mode,
             solver_generation=self._engine.solver_generation,
+            bundle_key=self._engine.bundle_cache_key,
         )
         solver = self._engine.solver(request.algorithm)
 
@@ -272,6 +296,13 @@ class QueryService:
             solve_seconds = result.runtime_seconds
 
         self._result_cache.put(key, result)
+        # Close the insert-after-sweep race: an in-flight query that started
+        # before a generation swap stores its (never-servable) old-generation
+        # entry only to drop it here — so once every in-flight query has
+        # drained, no entry keyed to a retired generation survives.
+        if key.bundle_key != self._engine.bundle_cache_key:
+            self._result_cache.clear()
+            self._instance_cache.clear()
         timing = QueryTiming(
             key=key,
             algorithm=algorithm,

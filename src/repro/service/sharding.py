@@ -649,8 +649,12 @@ def _worker_service(shard_index: int) -> QueryService:
         path = (
             config.base_path if shard_index < 0 else config.shard_paths[shard_index]
         )
+        # with_overlay=False: the gateway already resolved the generation to
+        # serve, and sharded workers serve that frozen world only — merging a
+        # pending delta on some workers but not others would break the
+        # byte-identity routing contract.
         engine = LCMSREngine.from_artifact(
-            path, verify=config.verify, pruning=config.pruning
+            path, verify=config.verify, pruning=config.pruning, with_overlay=False
         )
         # max_workers=1 and direct execute(): the worker never spawns threads
         # of its own, keeping the process pool the only concurrency layer.
@@ -674,10 +678,16 @@ class ShardedQueryService:
     """Multi-process scatter-gather front end over a (possibly sharded) artifact.
 
     Args:
-        artifact: The base artifact directory. A shard set under its
-            ``shards/`` subdirectory is picked up and validated automatically;
-            without one, every query runs on the base artifact (the pure
-            process-scaling mode the throughput benchmark measures).
+        artifact: The artifact root. A ``CURRENT`` generation pointer written
+            by ``python -m repro compact`` is followed automatically, and a
+            shard set under the served generation's ``shards/`` subdirectory
+            is picked up and validated; without one, every query runs on the
+            base artifact (the pure process-scaling mode the throughput
+            benchmark measures). After a later compaction, call
+            :meth:`refresh` to swap to the new generation without a restart.
+            Workers always serve the resolved generation frozen — pending
+            delta-log mutations are ignored here (single-process
+            :class:`~repro.engine.LCMSREngine` serving merges them).
         num_workers: Worker-process count; defaults to ``min(4, cpu_count)``.
         max_in_flight: Admission-control bound on concurrently executing +
             queued queries; defaults to ``4 × num_workers``. :meth:`submit`
@@ -712,22 +722,18 @@ class ShardedQueryService:
             max_in_flight = 4 * num_workers
         if max_in_flight < 1:
             raise QueryError(f"max_in_flight must be >= 1, got {max_in_flight}")
-        self._path = Path(artifact)
+        from repro.service.generations import resolve_generation  # deferred: cycle
+
+        self._root = Path(artifact)
+        self._path = resolve_generation(self._root)
         self._manifest = read_manifest(self._path)
         self._shard_set = load_shard_set(self._path)
-        shard_paths = tuple(
-            str(self._path / SHARDS_DIRNAME / info.name)
-            for info in (self._shard_set.shards if self._shard_set else ())
-        )
-        self._config = WorkerConfig(
-            base_path=str(self._path),
-            shard_paths=shard_paths,
-            pruning=pruning,
-            result_cache_size=result_cache_size,
-            instance_cache_size=instance_cache_size,
-            verify=verify,
-            preload_base=preload_base,
-        )
+        self._pruning = pruning
+        self._result_cache_size = result_cache_size
+        self._instance_cache_size = instance_cache_size
+        self._verify = verify
+        self._preload_base = preload_base
+        self._config = self._build_config(self._path)
         self._num_workers = num_workers
         self._max_in_flight = max_in_flight
         self._admission = threading.Semaphore(max_in_flight)
@@ -753,6 +759,66 @@ class ShardedQueryService:
             pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True)
+
+    def _build_config(self, path: Path) -> WorkerConfig:
+        """Assemble the worker configuration for the generation at ``path``."""
+        shard_paths = tuple(
+            str(path / SHARDS_DIRNAME / info.name)
+            for info in (self._shard_set.shards if self._shard_set else ())
+        )
+        return WorkerConfig(
+            base_path=str(path),
+            shard_paths=shard_paths,
+            pruning=self._pruning,
+            result_cache_size=self._result_cache_size,
+            instance_cache_size=self._instance_cache_size,
+            verify=self._verify,
+            preload_base=self._preload_base,
+        )
+
+    def refresh(self) -> bool:
+        """Re-resolve the artifact's ``CURRENT`` generation and swap to it.
+
+        Call after a compaction published a new ``gen-NNNN/`` directory: the
+        gateway re-reads the ``CURRENT`` pointer, reloads the manifest and the
+        new generation's shard set, and replaces the worker pool so every
+        worker reopens the swapped-in artifacts. Outstanding queries on the
+        old pool finish against the old generation (the pool is drained, not
+        aborted); queries submitted after ``refresh`` returns are served from
+        the new one.
+
+        Returns:
+            ``True`` when the served generation changed, ``False`` when the
+            ``CURRENT`` pointer still names the generation already being
+            served (no-op).
+
+        Raises:
+            ArtifactError: If the new generation's manifest or shard set is
+                missing or stale.
+            QueryError: If the service has been closed.
+        """
+        from repro.service.generations import resolve_generation  # deferred: cycle
+
+        new_path = resolve_generation(self._root)
+        if new_path == self._path:
+            return False
+        # Validate the new generation before touching serving state so a bad
+        # CURRENT pointer leaves the old generation in service.
+        manifest = read_manifest(new_path)
+        shard_set = load_shard_set(new_path)
+        with self._pool_lock:
+            if self._closed:
+                raise QueryError("the sharded query service has been closed")
+            pool, self._pool = self._pool, None
+            self._path = new_path
+            self._manifest = manifest
+            self._shard_set = shard_set
+            self._config = self._build_config(new_path)
+        with self._router_lock:
+            self._router = None
+        if pool is not None:
+            pool.shutdown(wait=True)
+        return True
 
     def _executor(self) -> ProcessPoolExecutor:
         with self._pool_lock:
@@ -781,6 +847,11 @@ class ShardedQueryService:
     def shard_set(self) -> Optional[ShardSetManifest]:
         """The validated shard set (``None`` when serving the base artifact only)."""
         return self._shard_set
+
+    @property
+    def served_path(self) -> Path:
+        """The artifact directory (generation) queries are currently served from."""
+        return self._path
 
     @property
     def rejected(self) -> int:

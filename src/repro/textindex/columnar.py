@@ -837,12 +837,67 @@ class WeightPipeline:
             return scores
         return index.lm_object_scores(keywords)
 
+    def node_sums(
+        self,
+        keywords: Iterable[str],
+        window: Optional[Rectangle] = None,
+        exclude_rows: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Per-node-position σ sums as a dense float64 array of length ``num_nodes``.
+
+        The aggregation primitive behind :meth:`node_weights`, exposed so the
+        delta-overlay merge (:mod:`repro.service.generations`) can combine base
+        sums with overlay contributions before the positivity/ordering step.
+
+        Args:
+            keywords: Normalised, de-duplicated query keywords.
+            window: Optional ``Q.Λ`` masking the *objects* by coordinates.
+            exclude_rows: Optional boolean mask over object rows; ``True`` rows
+                are dropped from the aggregation (used to mask base rows
+                superseded by a pending overlay entry).
+        """
+        from repro.textindex.relevance import ScoringMode  # deferred: cycle guard
+
+        index = self._index
+        keyword_list = list(keywords)
+        # Select the contributing object rows. TF-IDF and LM scores are
+        # strictly positive exactly for the objects the reference loop scores
+        # positively; rating mode must keep matched zero-rating objects out of
+        # the selection test (they contribute 0.0 on both backends).
+        scores = self.object_scores(keyword_list)
+        if self._mode is ScoringMode.RATING_IF_MATCH:
+            selection = index.matched_objects(keyword_list)
+        else:
+            selection = scores > 0.0
+        selection &= index.obj_node_pos >= 0
+        if exclude_rows is not None:
+            selection &= ~exclude_rows
+        if window is not None:
+            selection &= (
+                (index.obj_x >= window.min_x)
+                & (index.obj_x <= window.max_x)
+                & (index.obj_y >= window.min_y)
+                & (index.obj_y <= window.max_y)
+            )
+        rows = np.flatnonzero(selection)
+        if rows.size == 0:
+            return np.zeros(index.num_nodes, dtype=np.float64)
+        # Aggregate in ascending row (= corpus) order: within one node this is
+        # exactly the order the reference loop adds object scores, so the sums
+        # are bit-identical. np.bincount applies the adds sequentially.
+        return np.bincount(
+            index.obj_node_pos[rows],
+            weights=scores[rows],
+            minlength=index.num_nodes,
+        )
+
     def node_weights(
         self,
         keywords: Iterable[str],
         window: Optional[Rectangle] = None,
         candidate_nodes: Optional[Iterable[int]] = None,
         node_window: Optional[Rectangle] = None,
+        exclude_rows: Optional[np.ndarray] = None,
     ) -> Dict[int, float]:
         """Return σ_v for every node carrying a relevant object — as pure array ops.
 
@@ -860,43 +915,16 @@ class WeightPipeline:
                 query window here instead of materialising the window graph's
                 node-id set: a mapped node lies in the window graph exactly when
                 its coordinates lie in ``Q.Λ``.
+            exclude_rows: Optional boolean mask over object rows to drop from
+                the aggregation (see :meth:`node_sums`).
 
         Returns:
             ``node_id → σ_v`` for nodes with positive weight, in the same order
             the reference scorer produces.
         """
-        from repro.textindex.relevance import ScoringMode  # deferred: cycle guard
-
         index = self._index
         keyword_list = list(keywords)
-        # Select the contributing object rows. TF-IDF and LM scores are
-        # strictly positive exactly for the objects the reference loop scores
-        # positively; rating mode must keep matched zero-rating objects out of
-        # the selection test (they contribute 0.0 on both backends).
-        scores = self.object_scores(keyword_list)
-        if self._mode is ScoringMode.RATING_IF_MATCH:
-            selection = index.matched_objects(keyword_list)
-        else:
-            selection = scores > 0.0
-        selection &= index.obj_node_pos >= 0
-        if window is not None:
-            selection &= (
-                (index.obj_x >= window.min_x)
-                & (index.obj_x <= window.max_x)
-                & (index.obj_y >= window.min_y)
-                & (index.obj_y <= window.max_y)
-            )
-        rows = np.flatnonzero(selection)
-        if rows.size == 0:
-            return {}
-        # Aggregate in ascending row (= corpus) order: within one node this is
-        # exactly the order the reference loop adds object scores, so the sums
-        # are bit-identical. np.bincount applies the adds sequentially.
-        sums = np.bincount(
-            index.obj_node_pos[rows],
-            weights=scores[rows],
-            minlength=index.num_nodes,
-        )
+        sums = self.node_sums(keyword_list, window=window, exclude_rows=exclude_rows)
         keep = sums > 0.0
         if node_window is not None:
             keep &= (

@@ -169,3 +169,78 @@ class TestSharding:
             "--out", str(tmp_path / "bad"), "--shards", "0",
         ]) == 2
         assert "--shards" in capsys.readouterr().err
+
+
+class TestMutateAndCompact:
+    @pytest.fixture()
+    def mutable_artifact(self, tmp_path):
+        path = tmp_path / "mutable"
+        assert main(BUILD_ARGS + ["--out", str(path)]) == 0
+        return path
+
+    def test_mutate_records_ops_in_the_delta_log(self, mutable_artifact, capsys):
+        from repro.service.generations import read_delta_log
+
+        assert main([
+            "mutate", str(mutable_artifact),
+            "--add", '{"id": 90001, "x": 300.0, "y": 300.0, '
+                     '"keywords": ["cafe", "bar"], "rating": 2.5}',
+            "--set-rating", "3=4.5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "recorded 2 mutation(s)" in out
+        ops = read_delta_log(mutable_artifact)
+        assert [op["op"] for op in ops] == ["add", "rate"]
+        # A second mutate call appends.
+        assert main(["mutate", str(mutable_artifact), "--remove", "3"]) == 0
+        assert len(read_delta_log(mutable_artifact)) == 3
+
+    def test_mutate_validates_before_writing(self, mutable_artifact, capsys):
+        from repro.service.generations import read_delta_log
+
+        assert main([
+            "mutate", str(mutable_artifact), "--remove", "999999",
+        ]) == 2
+        assert "unknown" in capsys.readouterr().err
+        assert read_delta_log(mutable_artifact) == []
+
+    def test_mutate_without_ops_fails_cleanly(self, mutable_artifact, capsys):
+        assert main(["mutate", str(mutable_artifact)]) == 2
+        assert "no mutations given" in capsys.readouterr().err
+
+    def test_mutate_from_ops_file(self, mutable_artifact, tmp_path, capsys):
+        from repro.service.generations import read_delta_log
+
+        ops_file = tmp_path / "ops.json"
+        ops_file.write_text(json.dumps({"ops": [
+            {"op": "rate", "id": 5, "rating": 3.5},
+            {"op": "remove", "id": 7},
+        ]}), encoding="utf-8")
+        assert main(["mutate", str(mutable_artifact), "--ops", str(ops_file)]) == 0
+        assert len(read_delta_log(mutable_artifact)) == 2
+
+    def test_compact_writes_generation_and_flips_current(
+        self, mutable_artifact, capsys
+    ):
+        from repro.service.generations import read_delta_log
+
+        assert main(["mutate", str(mutable_artifact), "--set-rating", "3=4.5"]) == 0
+        capsys.readouterr()
+        assert main(["compact", str(mutable_artifact)]) == 0
+        out = capsys.readouterr().out
+        assert "compacted 1 mutation(s) into gen-0001" in out
+        current = (mutable_artifact / "CURRENT").read_text(encoding="utf-8").strip()
+        assert current == "gen-0001"
+        assert read_delta_log(mutable_artifact) == []
+        # The new generation is a complete, verifiable artifact...
+        assert main(["info", str(mutable_artifact / "gen-0001"), "--verify"]) == 0
+        assert "verified ok" in capsys.readouterr().out
+        # ...and queries against the root serve it transparently.
+        assert main([
+            "query", str(mutable_artifact),
+            "--keywords", "cafe", "--delta", "600",
+        ]) == 0
+
+    def test_compact_without_pending_is_a_noop(self, mutable_artifact, capsys):
+        assert main(["compact", str(mutable_artifact)]) == 0
+        assert "nothing to compact" in capsys.readouterr().out
