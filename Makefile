@@ -66,6 +66,8 @@ bench-json:
 		-q -s -o python_files="bench_*.py"
 	REPRO_BENCH_JSON=BENCH_generations.json $(PYTHON) -m pytest \
 		benchmarks/bench_generations.py -q -s -o python_files="bench_*.py"
+	REPRO_BENCH_JSON=BENCH_artifact.json $(PYTHON) -m pytest \
+		benchmarks/bench_artifact_scale.py -q -s -o python_files="bench_*.py"
 
 # End-to-end artifact gate through the CLI: build a small artifact, verify and
 # reload it, and answer one query per solver (exact gets a small window so its

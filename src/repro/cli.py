@@ -5,9 +5,12 @@ offline index build from online serving so examples, benchmarks and deployments 
 share one prebuilt artifact instead of each paying the full indexing pipeline:
 
 * ``python -m repro build --dataset ny --out artifacts/ny`` — generate a dataset,
-  build every index structure once and persist the bundle as a versioned artifact;
+  build every index structure once and persist the bundle as a versioned artifact
+  (add ``--compress zlib`` for a chunk-compressed artifact and ``--stream`` to
+  build million-object configurations in bounded memory);
 * ``python -m repro info artifacts/ny`` — print the manifest (format version,
-  dataset fingerprint, checksums, statistics) without loading the indexes;
+  dataset fingerprint, checksums, per-file on-disk sizes and compression ratio)
+  without loading the indexes;
 * ``python -m repro query artifacts/ny --keywords cafe,bar --delta 2000`` — load
   the artifact (CSR arrays memory-mapped) and answer one LCMSR query;
 * ``python -m repro serve-batch artifacts/ny --synthesize 32`` — run a batch of
@@ -61,50 +64,91 @@ def _parse_region(raw: Optional[str]) -> Optional[Rectangle]:
 
 # ---------------------------------------------------------------------- build
 def _cmd_build(args: argparse.Namespace) -> int:
-    from repro.datasets.ny import build_ny_like
-    from repro.datasets.usanw import build_usanw_like
     from repro.service.bundle import IndexBundle
 
-    if args.dataset == "ny":
-        dataset = build_ny_like(
-            rows=args.rows,
-            cols=args.cols,
-            block_size=args.block_size,
-            num_objects=args.objects,
-            num_clusters=args.clusters,
-            seed=args.seed,
+    compress = None if args.compress == "none" else args.compress
+    if args.stream:
+        # Streaming build: the object corpus is consumed as a generator and
+        # never materialised ahead of indexing — the path for configurations
+        # whose eager dataset assembly would not fit in memory.
+        if args.dataset == "ny":
+            from repro.datasets.ny import ny_like_parts
+
+            dataset_name = "NY-like"
+            network, objects = ny_like_parts(
+                rows=args.rows,
+                cols=args.cols,
+                block_size=args.block_size,
+                num_objects=args.objects,
+                num_clusters=args.clusters,
+                seed=args.seed,
+            )
+        else:
+            from repro.datasets.usanw import usanw_like_parts
+
+            dataset_name = "USANW-like"
+            network, objects = usanw_like_parts(
+                num_nodes=args.nodes,
+                extent=args.extent,
+                num_objects=args.objects,
+                num_clusters=args.clusters,
+                seed=args.seed,
+            )
+        bundle = IndexBundle.build_streaming(
+            network, objects, grid_resolution=args.grid_resolution
         )
     else:
-        dataset = build_usanw_like(
-            num_nodes=args.nodes,
-            extent=args.extent,
-            num_objects=args.objects,
-            num_clusters=args.clusters,
-            seed=args.seed,
-        )
-    if args.grid_resolution != dataset.grid.resolution:
-        # Only the grid depends on the resolution: rebuild it over the shared
-        # VSM and keep the (resolution-independent) mapping and scorer.
-        from dataclasses import replace
+        from repro.datasets.ny import build_ny_like
+        from repro.datasets.usanw import build_usanw_like
 
-        from repro.index.grid import GridIndex
+        if args.dataset == "ny":
+            dataset = build_ny_like(
+                rows=args.rows,
+                cols=args.cols,
+                block_size=args.block_size,
+                num_objects=args.objects,
+                num_clusters=args.clusters,
+                seed=args.seed,
+            )
+        else:
+            dataset = build_usanw_like(
+                num_nodes=args.nodes,
+                extent=args.extent,
+                num_objects=args.objects,
+                num_clusters=args.clusters,
+                seed=args.seed,
+            )
+        if args.grid_resolution != dataset.grid.resolution:
+            # Only the grid depends on the resolution: rebuild it over the shared
+            # VSM and keep the (resolution-independent) mapping and scorer.
+            from dataclasses import replace
 
-        dataset = replace(
-            dataset,
-            grid=GridIndex(
-                dataset.corpus,
-                resolution=args.grid_resolution,
-                vsm=dataset.grid.vector_space_model,
-            ),
-        )
-    bundle = IndexBundle.from_dataset(dataset)
-    manifest = bundle.save(args.out, overwrite=args.force)
+            from repro.index.grid import GridIndex
+
+            dataset = replace(
+                dataset,
+                grid=GridIndex(
+                    dataset.corpus,
+                    resolution=args.grid_resolution,
+                    vsm=dataset.grid.vector_space_model,
+                ),
+            )
+        dataset_name = dataset.name
+        bundle = IndexBundle.from_dataset(dataset)
+    manifest = bundle.save(args.out, overwrite=args.force, compress=compress)
+    streamed = " [streamed]" if args.stream else ""
     print(f"artifact written to {args.out}")
-    print(f"  dataset     : {dataset.name} (seed {args.seed})")
+    print(f"  dataset     : {dataset_name} (seed {args.seed}){streamed}")
     print(f"  bundle      : {bundle.describe()}")
     print(f"  fingerprint : {manifest.fingerprint[:16]}…")
     print(f"  format      : v{manifest.format_version}")
+    if manifest.compression is not None:
+        print(
+            f"  compression : {manifest.compression.get('codec')} "
+            f"(level {manifest.compression.get('level')})"
+        )
     if args.shards is not None:
+        from repro.service.persist import compression_spec
         from repro.service.sharding import build_shards
 
         if args.shards < 1:
@@ -116,6 +160,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
             halo_margin=args.halo,
             base_fingerprint=manifest.fingerprint,
             overwrite=args.force,
+            compression=compression_spec(compress),
         )
         kx, ky = shard_set.tiles
         print(
@@ -147,6 +192,28 @@ def _cmd_info(args: argparse.Namespace) -> int:
         print(f"  {key:<15}: {manifest.stats[key]}")
     for name in sorted(manifest.checksums):
         print(f"  sha256 {name:<12}: {manifest.checksums[name][:16]}…")
+    artifact_dir = Path(args.artifact)
+    total_disk = 0
+    for name in sorted(manifest.checksums):
+        file_path = artifact_dir / name
+        size = file_path.stat().st_size if file_path.is_file() else 0
+        total_disk += size
+        print(f"  bytes {name:<13}: {size:,}")
+    block = manifest.compression
+    if block is not None:
+        raw_bytes = block.get("raw_bytes") or {}
+        total_raw = sum(int(value) for value in raw_bytes.values())
+        ratio = (total_raw / total_disk) if total_disk else 0.0
+        print(
+            f"  compression    : {block.get('codec')} level {block.get('level')} "
+            f"({block.get('chunk_elems')}-elem chunks)"
+        )
+        print(
+            f"  on-disk total  : {total_disk:,} bytes "
+            f"({total_raw:,} raw, {ratio:.2f}x smaller)"
+        )
+    else:
+        print(f"  on-disk total  : {total_disk:,} bytes (uncompressed)")
     if args.verify:
         print("  checksums      : verified ok")
     return 0
@@ -390,6 +457,18 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--extent", type=float, default=20000.0, help="[usanw] extent (m)")
     build.add_argument("--objects", type=int, default=7000, help="number of geo-textual objects")
     build.add_argument("--clusters", type=int, default=30, help="number of PoI hot spots")
+    build.add_argument(
+        "--compress", choices=("none", "zlib", "lzma"), default="none",
+        help="chunk-compress the artifact's payload columns with this codec "
+        "(hot bound/offset columns stay raw memmaps; queries are "
+        "byte-identical either way)",
+    )
+    build.add_argument(
+        "--stream", action="store_true",
+        help="build through the streaming indexer: objects are generated and "
+        "consumed one at a time in bounded memory (same artifact columns, "
+        "byte for byte)",
+    )
     build.add_argument(
         "--shards", type=int, default=None,
         help="also partition the artifact into this many tile shards under "

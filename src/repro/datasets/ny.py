@@ -14,9 +14,18 @@ build the corpus from your own crawl, then call
 
 from __future__ import annotations
 
-from repro.datasets.synthetic import SyntheticDataset, assemble_dataset, generate_objects_on_network
+from typing import Iterator, Tuple
+
+from repro.datasets.synthetic import (
+    SyntheticDataset,
+    assemble_dataset,
+    generate_objects_on_network,
+    iter_objects_on_network,
+)
 from repro.datasets.vocab import PLACES_VOCABULARY, Vocabulary
 from repro.network.builders import manhattan_network
+from repro.network.graph import RoadNetwork
+from repro.objects.geoobject import GeoTextualObject
 
 
 def build_ny_like(
@@ -63,3 +72,43 @@ def build_ny_like(
         seed=seed + 1,
     )
     return assemble_dataset("NY-like", network, corpus, vocabulary)
+
+
+def ny_like_parts(
+    rows: int = 50,
+    cols: int = 50,
+    block_size: float = 120.0,
+    num_objects: int = 7000,
+    num_clusters: int = 30,
+    seed: int = 42,
+    vocabulary: Vocabulary = PLACES_VOCABULARY,
+) -> Tuple[RoadNetwork, Iterator[GeoTextualObject]]:
+    """Return the NY-like dataset's raw parts for a streaming build.
+
+    Same parameters, seeds and object stream as :func:`build_ny_like`, but the
+    objects come back as a lazy iterator instead of an assembled dataset —
+    feed both parts to :meth:`IndexBundle.build_streaming
+    <repro.service.bundle.IndexBundle.build_streaming>` to index million-object
+    configurations in bounded memory (the path behind ``python -m repro build
+    --dataset ny --stream``). The resulting scoring columns are bit-identical
+    to the eager build's.
+    """
+    network = manhattan_network(
+        rows=rows,
+        cols=cols,
+        spacing=block_size,
+        diagonal_fraction=0.04,
+        removal_fraction=0.02,
+        seed=seed,
+    )
+    objects = iter_objects_on_network(
+        network,
+        num_objects=num_objects,
+        vocabulary=vocabulary,
+        cluster_fraction=0.65,
+        num_clusters=num_clusters,
+        cluster_radius=3.0 * block_size,
+        jitter=block_size / 4.0,
+        seed=seed + 1,
+    )
+    return network, objects

@@ -11,17 +11,30 @@ the LCMSR query is designed to exploit.
 Determinism policy: no function in this module touches module-level RNG state (the
 global :mod:`random` generator or :data:`numpy.random`) — every random draw flows
 through one explicit :class:`random.Random` instance derived from the caller's
-``seed`` (or injected directly via ``rng``). Two builds with the same seed therefore
-produce identical corpora, and — because the persistence layer is deterministic too
-— byte-identical on-disk artifacts (regression-tested in
+``seed`` (or injected directly via ``rng``), or through a
+:class:`numpy.random.Generator` seeded deterministically *from* that instance
+(the chunked background-placement draws). Two builds with the same seed
+therefore produce identical corpora, and — because the persistence layer is
+deterministic too — byte-identical on-disk artifacts (regression-tested in
 ``tests/service/test_persist.py``).
+
+Scale policy: :func:`iter_objects_on_network` is a generator — it yields
+objects one at a time and holds nothing corpus-sized, so
+:meth:`IndexBundle.build_streaming
+<repro.service.bundle.IndexBundle.build_streaming>` can index millions of
+objects without this module ever materialising the corpus. Background
+placements are drawn in vectorised numpy chunks (node index, jitter and rating
+arrays per chunk) rather than three Python-level RNG calls per object, which
+keeps generation from dominating a 1M-object build.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.exceptions import DatasetError
 from repro.index.grid import GridIndex
@@ -87,7 +100,47 @@ def generate_objects_on_network(
     seed: int = 17,
     rng: Optional[random.Random] = None,
 ) -> ObjectCorpus:
-    """Generate geo-textual objects along a road network.
+    """Generate geo-textual objects along a road network, fully materialised.
+
+    A thin wrapper around :func:`iter_objects_on_network` (same parameters,
+    same objects in the same order) that collects the stream into an
+    :class:`ObjectCorpus`. Callers indexing at the million-object scale should
+    consume the iterator directly through :meth:`IndexBundle.build_streaming
+    <repro.service.bundle.IndexBundle.build_streaming>` instead.
+    """
+    corpus = ObjectCorpus()
+    corpus.add_all(
+        iter_objects_on_network(
+            network,
+            num_objects,
+            vocabulary=vocabulary,
+            cluster_fraction=cluster_fraction,
+            num_clusters=num_clusters,
+            cluster_radius=cluster_radius,
+            hub_fraction=hub_fraction,
+            num_hubs=num_hubs,
+            jitter=jitter,
+            seed=seed,
+            rng=rng,
+        )
+    )
+    return corpus
+
+
+def iter_objects_on_network(
+    network: RoadNetwork,
+    num_objects: int,
+    vocabulary: Vocabulary = PLACES_VOCABULARY,
+    cluster_fraction: float = 0.6,
+    num_clusters: int = 20,
+    cluster_radius: float = 400.0,
+    hub_fraction: float = 0.08,
+    num_hubs: int = 25,
+    jitter: float = 25.0,
+    seed: int = 17,
+    rng: Optional[random.Random] = None,
+) -> Iterator[GeoTextualObject]:
+    """Yield geo-textual objects along a road network, one at a time.
 
     Three kinds of objects are generated:
 
@@ -115,11 +168,15 @@ def generate_objects_on_network(
         jitter: Coordinate jitter applied to every object, in meters.
         seed: Random seed (the whole dataset is deterministic given the seed).
         rng: Optional explicit generator; overrides ``seed`` when given. Every
-            random draw of the generation flows through this single generator —
-            there is no hidden module-level RNG state.
+            random draw of the generation flows through this single generator
+            or through a numpy generator seeded from it — there is no hidden
+            module-level RNG state.
 
     Returns:
-        The generated :class:`ObjectCorpus`.
+        An iterator of :class:`~repro.objects.geoobject.GeoTextualObject`
+        (hot-spot objects first, then hub objects, then background objects;
+        ids ascend from 0 in yield order). Validation errors raise eagerly at
+        call time, before the first object is requested.
     """
     if num_objects < 1:
         raise DatasetError("num_objects must be positive")
@@ -154,45 +211,68 @@ def generate_objects_on_network(
         term_b = head[(2 * index) % len(head)]
         hubs.append((centre.x, centre.y, (term_a, term_b)))
 
-    corpus = ObjectCorpus()
     num_clustered = int(round(cluster_fraction * num_objects))
     num_hub_objects = int(round(hub_fraction * num_objects)) if hubs else 0
-    object_id = 0
-    for _ in range(num_clustered):
-        walk, signature = hotspots[rng.randrange(len(hotspots))]
-        cx, cy = walk[rng.randrange(len(walk))]
-        x = cx + rng.uniform(-jitter * 2, jitter * 2)
-        y = cy + rng.uniform(-jitter * 2, jitter * 2)
-        terms = list(signature)
-        if rng.random() < 0.7:
+    num_background = num_objects - num_clustered - num_hub_objects
+    # Background *placements* (node pick, jitter, rating) are drawn in chunks
+    # from a numpy generator seeded off the dataset rng: three vectorised draws
+    # per ~8k objects instead of four Python-level RNG calls per object, which
+    # is what keeps 1M-object generation from dominating the build. Seeding
+    # happens here — before any object is emitted — so the derived stream is a
+    # pure function of the caller's seed regardless of consumption pattern.
+    placement_rng = np.random.default_rng(rng.getrandbits(64))
+    node_xs = np.fromiter((n.x for n in nodes), dtype=np.float64, count=len(nodes))
+    node_ys = np.fromiter((n.y for n in nodes), dtype=np.float64, count=len(nodes))
+
+    def emit() -> Iterator[GeoTextualObject]:
+        object_id = 0
+        for _ in range(num_clustered):
+            walk, signature = hotspots[rng.randrange(len(hotspots))]
+            cx, cy = walk[rng.randrange(len(walk))]
+            x = cx + rng.uniform(-jitter * 2, jitter * 2)
+            y = cy + rng.uniform(-jitter * 2, jitter * 2)
+            terms = list(signature)
+            if rng.random() < 0.7:
+                terms.append(rng.choice(signature))
+            terms.extend(vocabulary.sample_description(rng, 1, 3))
+            yield GeoTextualObject.create(
+                object_id, x, y, terms, rating=1.0 + rng.random() * 4.0
+            )
+            object_id += 1
+        for _ in range(num_hub_objects):
+            hx, hy, signature = hubs[rng.randrange(len(hubs))]
+            terms = list(signature)
             terms.append(rng.choice(signature))
-        terms.extend(vocabulary.sample_description(rng, 1, 3))
-        corpus.add(
-            GeoTextualObject.create(object_id, x, y, terms,
-                                     rating=1.0 + rng.random() * 4.0)
-        )
-        object_id += 1
-    for _ in range(num_hub_objects):
-        hx, hy, signature = hubs[rng.randrange(len(hubs))]
-        terms = list(signature)
-        terms.append(rng.choice(signature))
-        terms.extend(vocabulary.sample_description(rng, 1, 2))
-        corpus.add(
-            GeoTextualObject.create(object_id, hx + rng.uniform(-jitter, jitter),
-                                     hy + rng.uniform(-jitter, jitter), terms,
-                                     rating=1.0 + rng.random() * 4.0)
-        )
-        object_id += 1
-    for _ in range(num_objects - num_clustered - num_hub_objects):
-        node = rng.choice(nodes)
-        terms = vocabulary.sample_description(rng, 2, 5)
-        corpus.add(
-            GeoTextualObject.create(object_id, node.x + rng.uniform(-jitter, jitter),
-                                     node.y + rng.uniform(-jitter, jitter), terms,
-                                     rating=1.0 + rng.random() * 4.0)
-        )
-        object_id += 1
-    return corpus
+            terms.extend(vocabulary.sample_description(rng, 1, 2))
+            yield GeoTextualObject.create(
+                object_id,
+                hx + rng.uniform(-jitter, jitter),
+                hy + rng.uniform(-jitter, jitter),
+                terms,
+                rating=1.0 + rng.random() * 4.0,
+            )
+            object_id += 1
+        chunk_size = 8192
+        remaining = num_background
+        while remaining > 0:
+            count = min(chunk_size, remaining)
+            picks = placement_rng.integers(0, len(nodes), size=count)
+            xs = node_xs[picks] + placement_rng.uniform(-jitter, jitter, size=count)
+            ys = node_ys[picks] + placement_rng.uniform(-jitter, jitter, size=count)
+            ratings = 1.0 + placement_rng.random(count) * 4.0
+            for i in range(count):
+                terms = vocabulary.sample_description(rng, 2, 5)
+                yield GeoTextualObject.create(
+                    object_id,
+                    float(xs[i]),
+                    float(ys[i]),
+                    terms,
+                    rating=float(ratings[i]),
+                )
+                object_id += 1
+            remaining -= count
+
+    return emit()
 
 
 def _street_walk(

@@ -12,10 +12,18 @@ and the Flickr-like vocabulary (DESIGN.md §3).
 from __future__ import annotations
 
 import random
+from typing import Iterator, Tuple
 
-from repro.datasets.synthetic import SyntheticDataset, assemble_dataset, generate_objects_on_network
+from repro.datasets.synthetic import (
+    SyntheticDataset,
+    assemble_dataset,
+    generate_objects_on_network,
+    iter_objects_on_network,
+)
 from repro.datasets.vocab import FLICKR_VOCABULARY, Vocabulary
 from repro.network.builders import random_geometric_network
+from repro.network.graph import RoadNetwork
+from repro.objects.geoobject import GeoTextualObject
 
 
 def build_usanw_like(
@@ -60,3 +68,36 @@ def build_usanw_like(
         seed=seed + 1,
     )
     return assemble_dataset("USANW-like", network, corpus, vocabulary)
+
+
+def usanw_like_parts(
+    num_nodes: int = 3000,
+    extent: float = 20000.0,
+    num_objects: int = 3000,
+    num_clusters: int = 25,
+    seed: int = 97,
+    vocabulary: Vocabulary = FLICKR_VOCABULARY,
+) -> Tuple[RoadNetwork, Iterator[GeoTextualObject]]:
+    """Return the USANW-like dataset's raw parts for a streaming build.
+
+    Same parameters, seeds and object stream as :func:`build_usanw_like`, with
+    the objects as a lazy iterator — see
+    :func:`repro.datasets.ny.ny_like_parts` for the streaming-build contract.
+    """
+    network = random_geometric_network(
+        num_nodes=num_nodes,
+        extent=extent,
+        target_degree=2.8,
+        seed=seed,
+    )
+    objects = iter_objects_on_network(
+        network,
+        num_objects=num_objects,
+        vocabulary=vocabulary,
+        cluster_fraction=0.45,
+        num_clusters=num_clusters,
+        cluster_radius=extent / 40.0,
+        jitter=extent / 400.0,
+        seed=seed + 1,
+    )
+    return network, objects

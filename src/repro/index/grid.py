@@ -31,6 +31,16 @@ class GridIndex:
         vsm: Optional prebuilt vector-space model; built from the corpus if omitted.
         extent: Optional bounding rectangle; the corpus bounding box if omitted.
         bptree_order: Order of the per-cell B+-trees.
+        lazy: Defer building the cells and their inverted lists until the first
+            query that needs them. The serving hot path scores through the
+            columnar kernels and never touches the cells, so a streaming build
+            (:meth:`IndexBundle.build_streaming
+            <repro.service.bundle.IndexBundle.build_streaming>`) can index
+            millions of objects without ever materialising ``resolution²``
+            B+-trees; the cells appear on demand, bit-identical to an eager
+            build (same corpus iteration order). Lazy grids also pickle without
+            their cells, keeping ``index.pkl`` small and byte-deterministic
+            regardless of what was queried before saving.
     """
 
     def __init__(
@@ -40,6 +50,7 @@ class GridIndex:
         vsm: Optional[VectorSpaceModel] = None,
         extent: Optional[Rectangle] = None,
         bptree_order: int = 64,
+        lazy: bool = False,
     ) -> None:
         if resolution < 1:
             raise IndexError_(f"grid resolution must be >= 1, got {resolution}")
@@ -47,25 +58,57 @@ class GridIndex:
             raise IndexError_("cannot build a grid index over an empty corpus")
         self._corpus = corpus
         self._resolution = resolution
-        self._vsm = vsm or VectorSpaceModel(corpus)
+        self._vsm = vsm or VectorSpaceModel(corpus, lazy=lazy)
         self._extent = extent or corpus.bounding_box()
         # Guard against degenerate (zero-area) extents.
         width = max(self._extent.width, 1e-9)
         height = max(self._extent.height, 1e-9)
         self._cell_width = width / resolution
         self._cell_height = height / resolution
-        self._cells: Dict[Tuple[int, int], InvertedIndex] = {}
-        self._cell_objects: Dict[Tuple[int, int], List[int]] = {}
+        self._lazy = lazy
+        self._cells: Optional[Dict[Tuple[int, int], InvertedIndex]] = None
+        self._cell_objects: Optional[Dict[Tuple[int, int], List[int]]] = None
         self._bptree_order = bptree_order
-        for obj in corpus:
+        if not lazy:
+            self._build_cells()
+
+    def _build_cells(self) -> None:
+        """Populate the cells and their inverted lists (corpus iteration order)."""
+        self._cells = {}
+        self._cell_objects = {}
+        for obj in self._corpus:
             key = self._cell_of(obj.x, obj.y)
             cell = self._cells.get(key)
             if cell is None:
-                cell = InvertedIndex(self._vsm, bptree_order=bptree_order)
+                cell = InvertedIndex(self._vsm, bptree_order=self._bptree_order)
                 self._cells[key] = cell
                 self._cell_objects[key] = []
             cell.add_object(obj)
             self._cell_objects[key].append(obj.object_id)
+
+    def _ensure_cells(self) -> Dict[Tuple[int, int], InvertedIndex]:
+        if self._cells is None:
+            self._build_cells()
+        return self._cells
+
+    @property
+    def cells_built(self) -> bool:
+        """Whether the per-cell inverted lists exist yet (lazy grids defer them)."""
+        return self._cells is not None
+
+    def __getstate__(self):
+        # Lazy grids drop their cells from the pickle: the cells rebuild on
+        # demand from the corpus, and the pickle must not depend on whether a
+        # query happened to touch the grid before saving (byte-determinism).
+        state = dict(self.__dict__)
+        if state.get("_lazy"):
+            state["_cells"] = None
+            state["_cell_objects"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self.__dict__.setdefault("_lazy", False)
 
     # ------------------------------------------------------------------ geometry
     @property
@@ -80,8 +123,8 @@ class GridIndex:
 
     @property
     def num_nonempty_cells(self) -> int:
-        """Number of cells that contain at least one object."""
-        return len(self._cells)
+        """Number of cells that contain at least one object (builds lazy cells)."""
+        return len(self._ensure_cells())
 
     @property
     def vector_space_model(self) -> VectorSpaceModel:
@@ -107,11 +150,12 @@ class GridIndex:
         )
 
     def _cells_overlapping(self, window: Rectangle) -> Iterable[Tuple[int, int]]:
+        cells = self._ensure_cells()
         col_low, row_low = self._cell_of(window.min_x, window.min_y)
         col_high, row_high = self._cell_of(window.max_x, window.max_y)
         for col in range(col_low, col_high + 1):
             for row in range(row_low, row_high + 1):
-                if (col, row) in self._cells:
+                if (col, row) in cells:
                     yield (col, row)
 
     # ------------------------------------------------------------------ queries
@@ -126,7 +170,7 @@ class GridIndex:
                 and window.max_x >= cell_rect.max_x
                 and window.max_y >= cell_rect.max_y
             )
-            for object_id in self._cell_objects[key]:
+            for object_id in self._cell_objects[key]:  # populated by _cells_overlapping
                 if fully_inside:
                     result.append(object_id)
                 else:
@@ -150,7 +194,7 @@ class GridIndex:
             return {}
         scores: Dict[int, float] = {}
         for key in self._cells_overlapping(window):
-            cell = self._cells[key]
+            cell = self._ensure_cells()[key]
             cell_scores = cell.accumulate_scores(dict(query.weights), query.norm)
             if not cell_scores:
                 continue

@@ -6,11 +6,16 @@ website, which distributes graphs as a pair of plain-text files: a ``.gr`` file 
 lines. :func:`load_dimacs` reads that format (arcs are de-duplicated into undirected
 edges), so the reproduction can run on the real data when a user supplies it, and
 :func:`save_dimacs` writes it back so synthetic networks can be exported. A simpler
-whitespace edge-list format is supported for quick interchange with other tools.
+whitespace edge-list format is supported for quick interchange with other tools, and
+:func:`load_ways` reads the OSM-extract-style *ways* format (node declarations plus
+polyline node sequences, edge lengths derived from the geometry) so continental-scale
+graphs exported from OpenStreetMap tooling stream into the same
+:class:`~repro.network.graph.RoadNetwork` → CSR snapshot pipeline as everything else.
 """
 
 from __future__ import annotations
 
+import math
 import os
 from typing import Dict, Iterable, Optional, Tuple
 
@@ -123,6 +128,72 @@ def load_edge_list(path: str) -> RoadNetwork:
                     raise ValueError("unknown record type")
             except (ValueError, KeyError) as exc:
                 raise DatasetError(f"{path}:{line_no}: malformed line {line!r}") from exc
+    return network
+
+
+def load_ways(path: str) -> RoadNetwork:
+    """Load a network from a plain-text OSM-extract-style *ways* file.
+
+    OpenStreetMap exports (and most tools that post-process them) describe a
+    road network as point declarations plus *ways* — ordered node sequences
+    tracing each street's polyline. This reader accepts that shape directly,
+    one record per line:
+
+    * ``node <id> <x> <y>`` declares a junction/shape point in projected
+      coordinates (meters);
+    * ``way <way_id> <node> <node> ...`` declares a street: its own id (kept
+      only for file readability, like OSM way ids) followed by the sequence of
+      nodes it passes through (two or more); every consecutive pair becomes
+      one undirected edge whose length is the Euclidean distance between the
+      two points — the way's geometry *is* the length source, so no length
+      column is needed in the file;
+    * blank lines and lines starting with ``#`` are ignored.
+
+    A node may appear in any number of ways (intersections), and the same edge
+    re-declared by overlapping ways is de-duplicated by
+    :meth:`RoadNetwork.add_edge` just like repeated DIMACS arcs. Zero-length
+    segments (consecutive duplicate points) are skipped.
+
+    The file streams line by line — memory is bounded by the network itself,
+    never by the file size — matching the module's role as the real-data entry
+    point for million-node graphs.
+
+    Raises:
+        DatasetError: If the file is missing, a line cannot be parsed, or a way
+            references an undeclared node.
+    """
+    if not os.path.exists(path):
+        raise DatasetError(f"ways file not found: {path}")
+    network = RoadNetwork()
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            try:
+                if parts[0] == "node" and len(parts) == 4:
+                    network.add_node(int(parts[1]), float(parts[2]), float(parts[3]))
+                    continue
+                if parts[0] == "way" and len(parts) >= 4:
+                    sequence = [int(token) for token in parts[2:]]
+                else:
+                    raise ValueError("unknown record type")
+            except (ValueError, KeyError) as exc:
+                raise DatasetError(f"{path}:{line_no}: malformed line {line!r}") from exc
+            for u, v in zip(sequence, sequence[1:]):
+                if u == v:
+                    continue
+                if u not in network or v not in network:
+                    raise DatasetError(
+                        f"{path}:{line_no}: way references undeclared node "
+                        f"({u if u not in network else v})"
+                    )
+                a, b = network.node(u), network.node(v)
+                length = math.hypot(a.x - b.x, a.y - b.y)
+                if length <= 0.0:
+                    continue
+                network.add_edge(u, v, length)
     return network
 
 

@@ -175,6 +175,108 @@ class IndexBundle:
         )
 
     @classmethod
+    def build_streaming(
+        cls,
+        network: RoadNetwork,
+        objects,
+        grid_resolution: int = 48,
+        scoring_mode: ScoringMode = ScoringMode.TEXT_RELEVANCE,
+    ) -> "IndexBundle":
+        """Index an object *iterator* in bounded memory (the 1M-object path).
+
+        Where :meth:`build` materialises every derived structure eagerly — the
+        vector-space model's corpus-sized weight tables, the grid's
+        ``resolution²`` inverted lists — this path consumes ``objects`` one at
+        a time and defers everything the serving hot path doesn't need:
+
+        1. **Accumulate pass.** Objects stream into the corpus (incremental
+           document frequencies / collection statistics) and are mapped to
+           their nearest network nodes. Nothing object-count-sized beyond the
+           corpus itself is resident.
+        2. **Column emission pass.** The columnar scoring index is built with
+           per-object inline ``wto`` arithmetic (see
+           :meth:`ColumnarScoringIndex.build
+           <repro.textindex.columnar.ColumnarScoringIndex.build>` with
+           ``vsm=None``) — bit-identical columns to an eager build, no weight
+           tables.
+        3. **Lazy shells.** The vector-space model and the grid are created in
+           lazy mode: they answer exactly like their eager counterparts but
+           compute on first use, and they pickle without their caches — so a
+           streamed artifact's ``index.pkl`` stays small.
+
+        Query results are byte-identical to :meth:`build` of the same
+        (network, objects): the deferred structures replay the same arithmetic
+        on demand, and the columnar columns — which every hot-path query reads
+        — are bit-equal. Only the artifact's ``index.pkl`` bytes differ (no
+        precomputed tables inside).
+
+        Args:
+            network: The road network to index.
+            objects: An iterable/generator of
+                :class:`~repro.objects.geoobject.GeoTextualObject`; consumed
+                once, never materialised as a list.
+            grid_resolution: Cells per axis of the (lazy) spatial grid.
+            scoring_mode: Per-object weight definition.
+
+        Returns:
+            The immutable bundle, with a frozen CSR network snapshot.
+
+        Raises:
+            QueryError: If ``grid_resolution`` is not a positive integer.
+        """
+        if not isinstance(grid_resolution, int) or grid_resolution <= 0:
+            raise QueryError(
+                f"grid_resolution must be a positive integer, got {grid_resolution!r}"
+            )
+        timings: Dict[str, float] = {}
+        total_start = time.perf_counter()
+
+        start = time.perf_counter()
+        corpus = ObjectCorpus()
+        for obj in objects:
+            corpus.add(obj)
+        timings["accumulate"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        mapping = map_objects_to_network(network, corpus)
+        timings["mapping"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        vsm = VectorSpaceModel(corpus, lazy=True)
+        grid = GridIndex(corpus, resolution=grid_resolution, vsm=vsm, lazy=True)
+        timings["lazy_shells"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        columnar = ColumnarScoringIndex.build(corpus, mapping, network.coords)
+        vsm.attach_columnar(columnar)
+        timings["columnar"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        scorer = RelevanceScorer(
+            corpus, mapping, mode=scoring_mode, vsm=vsm, columnar=columnar
+        )
+        timings["scorer"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        compact = CompactNetwork.from_network(network)
+        timings["freeze"] = time.perf_counter() - start
+
+        timings["total"] = time.perf_counter() - total_start
+        return cls(
+            network=network,
+            compact=compact,
+            corpus=corpus,
+            mapping=mapping,
+            vsm=vsm,
+            grid=grid,
+            scorer=scorer,
+            scoring_mode=scoring_mode,
+            grid_resolution=grid_resolution,
+            build_seconds=timings,
+            columnar=columnar,
+        )
+
+    @classmethod
     def from_dataset(
         cls,
         dataset: "SyntheticDataset",
@@ -235,7 +337,13 @@ class IndexBundle:
         )
 
     # ------------------------------------------------------------------ persistence
-    def save(self, path: "PathLike", overwrite: bool = False) -> "ArtifactManifest":
+    def save(
+        self,
+        path: "PathLike",
+        overwrite: bool = False,
+        compress: Optional[str] = None,
+        compress_level: Optional[int] = None,
+    ) -> "ArtifactManifest":
         """Persist the bundle as a versioned on-disk artifact directory.
 
         See :func:`repro.service.persist.save_bundle` for the layout, determinism
@@ -244,17 +352,26 @@ class IndexBundle:
         Args:
             path: Target artifact directory (created if missing).
             overwrite: Replace an existing artifact instead of raising.
+            compress: Optional chunk-compression codec (``"zlib"`` / ``"lzma"``;
+                ``None`` or ``"none"`` stores the raw mmap-everything layout).
+            compress_level: Optional codec effort level (codec default when
+                omitted).
 
         Returns:
             The written :class:`~repro.service.persist.ArtifactManifest`.
 
         Raises:
             ArtifactError: If ``path`` already holds an artifact and
-                ``overwrite`` is false.
+                ``overwrite`` is false, or ``compress`` names an unknown codec.
         """
         from repro.service import persist
 
-        return persist.save_bundle(self, path, overwrite=overwrite)
+        return persist.save_bundle(
+            self,
+            path,
+            overwrite=overwrite,
+            compression=persist.compression_spec(compress, compress_level),
+        )
 
     @classmethod
     def load(
@@ -344,11 +461,16 @@ class IndexBundle:
         """One-line summary of the indexed dataset (used in logs and reports)."""
         backend = "csr" if self.compact is not None else "dict"
         view = self.graph_view()
+        # Don't force a lazy grid to materialise its cells just for a log line.
+        if getattr(self.grid, "cells_built", True):
+            cells = f"{self.grid.num_nonempty_cells} non-empty cells"
+        else:
+            cells = "cells deferred"
         return (
             f"{view.num_nodes} nodes / {view.num_edges} edges "
             f"({backend} backend), "
             f"{len(self.corpus)} objects, grid {self.grid_resolution}x{self.grid_resolution} "
-            f"({self.grid.num_nonempty_cells} non-empty cells), "
+            f"({cells}), "
             f"scoring={self.scoring_mode.value}, "
             f"built in {self.build_seconds.get('total', 0.0):.3f}s"
         )

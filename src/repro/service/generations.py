@@ -79,7 +79,13 @@ from repro.network.subgraph import Rectangle
 from repro.objects.corpus import ObjectCorpus
 from repro.objects.geoobject import GeoTextualObject
 from repro.service.bundle import IndexBundle
-from repro.service.persist import MANIFEST_NAME, _write_bytes_atomic, read_manifest, save_bundle
+from repro.service.persist import (
+    MANIFEST_NAME,
+    _write_bytes_atomic,
+    compression_spec,
+    read_manifest,
+    save_bundle,
+)
 from repro.textindex.relevance import LanguageModelScorer, ScoringMode
 from repro.textindex.vector_space import QueryVector, tf_weight
 
@@ -687,10 +693,14 @@ class Compactor:
 
     The compactor freezes the engine's overlay, materialises the canonical
     mutated corpus, and rebuilds a full bundle through
-    :meth:`IndexBundle.build` — the *same* call a cold rebuild of the mutated
-    dataset goes through, which is what makes post-compaction byte-parity
-    structural rather than re-proved per subsystem.  With an artifact ``root``
-    it then persists the bundle as ``<root>/gen-NNNN/``, mirrors the served
+    :meth:`IndexBundle.build_streaming` — which persists the *same*
+    scoring / network columns, byte for byte, as the eager
+    :meth:`IndexBundle.build` a cold rebuild of the mutated dataset goes
+    through (the streaming-parity suite pins that equivalence), while keeping
+    the compactor's peak memory bounded for million-object generations.  With
+    an artifact ``root`` it then persists the bundle as ``<root>/gen-NNNN/``
+    — inheriting the served generation's chunk-compression codec, so a
+    compacted compressed artifact stays compressed — mirrors the served
     generation's shard set onto the new generation, flips ``CURRENT``
     atomically, clears the delta log, and finally swaps the new bundle into
     the live engine (dropping the overlay and bumping ``bundle_generation``).
@@ -727,9 +737,9 @@ class Compactor:
             mutations = overlay.pending_count
             corpus = overlay.materialize_corpus()
             base = engine.bundle
-            new_bundle = IndexBundle.build(
+            new_bundle = IndexBundle.build_streaming(
                 base.road_network(),
-                corpus,
+                iter(corpus),
                 grid_resolution=base.grid_resolution,
                 scoring_mode=base.scoring_mode,
             )
@@ -739,10 +749,18 @@ class Compactor:
             if self._root is not None:
                 from repro.service.sharding import build_shards, load_shard_set
 
+                served = resolve_generation(self._root, warn_partial=False)
+                # The new generation inherits the served generation's
+                # chunk-compression codec (None stays None).
+                block = read_manifest(served).compression
+                compression = (
+                    compression_spec(str(block.get("codec")), block.get("level"))
+                    if block is not None
+                    else None
+                )
                 generation = next_generation_name(self._root)
                 target = self._root / generation
-                manifest = save_bundle(new_bundle, target)
-                served = resolve_generation(self._root, warn_partial=False)
+                manifest = save_bundle(new_bundle, target, compression=compression)
                 try:
                     shard_set = load_shard_set(served)
                 except ArtifactError:
@@ -754,6 +772,7 @@ class Compactor:
                         num_shards=len(shard_set.shards),
                         halo_margin=shard_set.halo_margin,
                         base_fingerprint=manifest.fingerprint,
+                        compression=compression,
                     )
                     resharded = True
                 set_current_generation(self._root, generation)

@@ -14,14 +14,22 @@ Artifact layout (one directory per artifact)::
         manifest.json     format version, dataset fingerprint, build parameters,
                           per-file SHA-256 checksums, headline statistics
         network.npz       the CompactNetwork CSR arrays (ids, xs, ys, indptr,
-                          indices, lengths), stored uncompressed and loaded back
-                          as read-only memory maps
+                          indices, lengths), stored raw by default and loaded
+                          back as read-only memory maps; under ``--compress``
+                          the payload columns are chunk-compressed (the CSR
+                          ``indptr`` always stays raw)
         scoring.npz       the ColumnarScoringIndex columns (CSR term → object
                           postings with TF-IDF / raw-tf / LM log-probability
                           value columns, the object table, the node table and
-                          the CSR node → object map), stored uncompressed and
+                          the CSR node → object map), stored raw by default and
                           loaded back as read-only memory maps — the σ_v hot
-                          path is query-ready without materialising anything
+                          path is query-ready without materialising anything.
+                          Under ``--compress`` the bulky value columns are
+                          chunk-compressed and decoded lazily per chunk behind
+                          :class:`~repro.service.chunked.ChunkedColumn`; the
+                          indptr and bound-aggregate columns stay raw memory
+                          maps so pruning and scatter planning never pay a
+                          decode (see ``_COMPRESSED_SCORING_COLUMNS``)
         index.pkl         the derived index structures — object corpus, node ↔
                           object mapping, vector-space model, grid cells +
                           inverted lists, relevance-scorer config — pickled as
@@ -46,6 +54,20 @@ Design notes:
   therefore I/O-bound header parsing, not array materialisation — combined with
   :class:`~repro.network.compact.CompactNetwork`'s lazy traversal mirrors, an
   engine is query-ready without reading the bulk of the arrays.
+* **Chunked compression (format 5).** With a codec selected, each bulky payload
+  column is split into fixed-size chunks, each chunk compressed independently
+  (zlib or lzma, both stdlib) behind a byte-shuffle filter, and stored as its
+  own ``ZIP_STORED`` zip member next to a per-column descriptor
+  (``<column>.chunks.json``: dtype, length, chunk size, codec, per-chunk CRC-32
+  of the decoded bytes). Readers get a
+  :class:`~repro.service.chunked.ChunkedColumn` that decodes chunks on demand
+  through an LRU cache — decoded bytes are bit-identical to a raw build, so
+  query results are byte-identical across compressed and raw artifacts. The
+  CSR ``indptr`` columns and the bound-aggregate columns stay raw memory maps:
+  they are touched by every query's pruning/planning pass and must stay
+  zero-decode. ``index.pkl`` is compressed wholesale with the same codec. The
+  chunk pipeline is deterministic (fixed codec levels, pinned member
+  timestamps), so same-seed compressed builds are byte-identical too.
 * **Versioning policy.** ``format_version`` is bumped on any layout or encoding
   change; loaders refuse other versions outright (no silent migration). The
   ``fingerprint`` identifies the *dataset content* independent of the format, so
@@ -59,6 +81,7 @@ import hashlib
 import io
 import json
 import pickle
+import re
 import struct
 import time
 import zipfile
@@ -71,6 +94,16 @@ import numpy as np
 from repro.exceptions import ArtifactError
 from repro.network.compact import CompactNetwork, GraphView
 from repro.objects.corpus import ObjectCorpus
+from repro.service.chunked import (
+    CODECS,
+    DEFAULT_CHUNK_ELEMS,
+    DEFAULT_CODEC,
+    DEFAULT_LEVELS,
+    ChunkedColumn,
+    CompressingWriter,
+    decompress_bytes,
+    encode_chunk,
+)
 from repro.textindex.columnar import (
     ARRAY_FIELDS as _SCORING_FIELDS,
     DEFAULT_LM_SMOOTHING,
@@ -80,7 +113,7 @@ from repro.textindex.columnar import (
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (bundle imports persist)
     from repro.service.bundle import IndexBundle
 
-FORMAT_VERSION = 4
+FORMAT_VERSION = 5
 """Current on-disk artifact format version (see the module docstring).
 
 Version history: 1 — network.npz + index.pkl + vocabulary.json; 2 — adds
@@ -91,8 +124,13 @@ field; 3 — adds the per-cell bound aggregate columns to scoring.npz (the
 statistic columns ``term_df`` / ``corpus_meta`` to scoring.npz (so spatial
 shards score with full-corpus IDF weights) and the manifest's optional
 ``shard`` block (tile / extent / halo linkage of a shard sub-artifact, see
-:mod:`repro.service.sharding`). Loaders accept exactly the current version (no
-silent migration); older artifacts must be rebuilt with
+:mod:`repro.service.sharding`); 5 — adds optional per-column chunked
+compression inside the ``.npz`` containers (``<column>.chunks.json``
+descriptor + ``<column>.chunkNNNNN`` payload members, decoded lazily behind
+:class:`~repro.service.chunked.ChunkedColumn`), whole-file compression of
+``index.pkl``, and the manifest's optional ``compression`` block (codec,
+level, chunk size, per-file raw byte counts). Loaders accept exactly the
+current version (no silent migration); older artifacts must be rebuilt with
 ``python -m repro build``.
 """
 
@@ -105,6 +143,32 @@ VOCABULARY_NAME = "vocabulary.json"
 _PICKLE_PROTOCOL = 4
 _ZIP_EPOCH = (1980, 1, 1, 0, 0, 0)  # fixed member timestamp => deterministic bytes
 _NETWORK_FIELDS = ("ids", "xs", "ys", "indptr", "indices", "lengths")
+
+# Column compression policy. Compressed: the bulky per-posting / per-object /
+# per-node payload columns that queries touch in narrow windows. Raw (always a
+# plain memory map): every CSR indptr (one random read per term lookup — a
+# decode there would serialise every query), the bound-aggregate columns that
+# PR 6 pruning and PR 7 scatter planning scan on every request, the tiny
+# per-term / corpus-stat tables, and the node coordinate triplet the
+# UpperBoundIndex reads at load. Only 1-D columns are ever chunked.
+_COMPRESSED_SCORING_COLUMNS = frozenset(
+    {
+        "post_rows",
+        "post_tfidf",
+        "post_tf",
+        "lm_log_mixed",
+        "object_ids",
+        "obj_x",
+        "obj_y",
+        "obj_rating",
+        "obj_node_pos",
+        "node_rows",
+    }
+)
+_COMPRESSED_NETWORK_COLUMNS = frozenset({"ids", "xs", "ys", "indices", "lengths"})
+
+_CHUNK_DESCRIPTOR_SUFFIX = ".chunks.json"
+_CHUNK_MEMBER_RE = re.compile(r"^(?P<column>.+)\.chunk(?P<index>\d{5})$")
 
 PathLike = Union[str, Path]
 
@@ -134,6 +198,12 @@ class ArtifactManifest:
             ``halo_margin`` the extent was grown by, the shard's ``part`` /
             ``of`` position in its set, and the ``base_fingerprint`` of the
             full artifact it was partitioned from (the staleness check).
+        compression: ``None`` for a raw (uncompressed) artifact. Otherwise the
+            chunk-compression parameters the payload files were written with —
+            ``codec`` (``zlib``/``lzma``), ``level``, ``chunk_elems``,
+            ``shuffle`` — plus ``raw_bytes``, the per-file serialised sizes
+            *before* compression (what ``python -m repro info`` reports the
+            compression ratio against).
     """
 
     format_version: int
@@ -144,6 +214,7 @@ class ArtifactManifest:
     stats: Dict[str, int] = field(default_factory=dict)
     checksums: Dict[str, str] = field(default_factory=dict)
     shard: Optional[Dict[str, object]] = None
+    compression: Optional[Dict[str, object]] = None
 
     def to_json(self) -> str:
         """Render the manifest as canonical (sorted-keys) JSON."""
@@ -163,6 +234,7 @@ class ArtifactManifest:
                 stats={str(k): int(v) for k, v in raw.get("stats", {}).items()},
                 checksums={str(k): str(v) for k, v in raw.get("checksums", {}).items()},
                 shard=raw.get("shard"),
+                compression=raw.get("compression"),
             )
         except (ValueError, KeyError, TypeError) as exc:
             raise ArtifactError(f"malformed artifact manifest: {exc}") from exc
@@ -247,26 +319,116 @@ def _replace_into(temp_path: Path, final_path: Path) -> None:
     temp_path.replace(final_path)
 
 
-def _write_npz(path: Path, arrays: Dict[str, np.ndarray]) -> None:
-    """Write ``arrays`` as an uncompressed, byte-deterministic ``.npz`` file.
+def compression_spec(
+    codec: Optional[str], level: Optional[int] = None
+) -> Optional[Dict[str, object]]:
+    """Normalise a codec request into the internal compression-spec dict.
+
+    ``None`` / ``"none"`` mean "store raw" and return ``None``; otherwise the
+    spec carries the codec name, effort level (codec default when omitted),
+    chunk size and shuffle flag that every writer in this module consumes.
+
+    Raises:
+        ArtifactError: On an unknown codec name.
+    """
+    if codec is None or codec == "none":
+        return None
+    if codec not in CODECS:
+        raise ArtifactError(
+            f"unknown compression codec {codec!r} (supported: none, "
+            + ", ".join(CODECS)
+            + ")"
+        )
+    return {
+        "codec": codec,
+        "level": int(level) if level is not None else DEFAULT_LEVELS[codec],
+        "chunk_elems": DEFAULT_CHUNK_ELEMS,
+        "shuffle": True,
+    }
+
+
+def _add_stored_member(archive: zipfile.ZipFile, name: str, data: bytes) -> None:
+    """Add one ``ZIP_STORED`` member with the pinned epoch timestamp."""
+    info = zipfile.ZipInfo(name, date_time=_ZIP_EPOCH)
+    info.compress_type = zipfile.ZIP_STORED
+    info.external_attr = 0o644 << 16
+    archive.writestr(info, data)
+
+
+def _write_npz(
+    path: Path,
+    arrays: Dict[str, np.ndarray],
+    compression: Optional[Dict[str, object]] = None,
+    compressed_columns: frozenset = frozenset(),
+) -> int:
+    """Write ``arrays`` as a byte-deterministic ``.npz`` file.
 
     Unlike :func:`numpy.savez` this pins every zip member's timestamp to the zip
-    epoch, so identical arrays always produce identical bytes. Members are stored
-    (not deflated) so :func:`_mmap_npz` can map them in place. The file is
-    written to a temp sibling and renamed into place (see :func:`_replace_into`).
+    epoch, so identical arrays always produce identical bytes. Raw members are
+    stored (not deflated) so :func:`_mmap_npz` can map them in place. With a
+    ``compression`` spec, each 1-D column named in ``compressed_columns`` is
+    written as a ``<name>.chunks.json`` descriptor followed by independently
+    compressed ``<name>.chunkNNNNN`` payload members (themselves ``ZIP_STORED``
+    — the chunk codec already compressed them); everything else stays a raw
+    ``.npy`` member, so one file freely mixes mmap-able and chunked columns.
+    The file is written to a temp sibling and renamed into place (see
+    :func:`_replace_into`).
+
+    Returns:
+        The total raw (pre-compression) payload bytes, for the manifest's
+        compression-ratio accounting.
     """
     temp_path = path.with_name(path.name + ".tmp")
+    raw_total = 0
     with zipfile.ZipFile(temp_path, "w", compression=zipfile.ZIP_STORED) as archive:
         for name in sorted(arrays):
-            buffer = io.BytesIO()
-            np.lib.format.write_array(
-                buffer, np.ascontiguousarray(arrays[name]), allow_pickle=False
+            contiguous = np.ascontiguousarray(arrays[name])
+            chunk_it = (
+                compression is not None
+                and name in compressed_columns
+                and contiguous.ndim == 1
+                and contiguous.size > 0
             )
-            info = zipfile.ZipInfo(name + ".npy", date_time=_ZIP_EPOCH)
-            info.compress_type = zipfile.ZIP_STORED
-            info.external_attr = 0o644 << 16
-            archive.writestr(info, buffer.getvalue())
+            if not chunk_it:
+                buffer = io.BytesIO()
+                np.lib.format.write_array(buffer, contiguous, allow_pickle=False)
+                data = buffer.getvalue()
+                raw_total += len(data)
+                _add_stored_member(archive, name + ".npy", data)
+                continue
+            raw_total += contiguous.nbytes
+            codec = str(compression["codec"])
+            level = int(compression["level"])
+            chunk_elems = int(compression["chunk_elems"])
+            shuffle = bool(compression["shuffle"])
+            itemsize = contiguous.dtype.itemsize
+            payloads = []
+            chunk_meta = []
+            for start in range(0, len(contiguous), chunk_elems):
+                raw = contiguous[start : start + chunk_elems].tobytes()
+                payload, crc = encode_chunk(raw, itemsize, codec, level, shuffle)
+                payloads.append(payload)
+                chunk_meta.append([len(payload), crc])
+            descriptor = {
+                "dtype": np.lib.format.dtype_to_descr(contiguous.dtype),
+                "length": int(len(contiguous)),
+                "chunk_elems": chunk_elems,
+                "codec": codec,
+                "level": level,
+                "shuffle": shuffle,
+                "chunks": chunk_meta,
+            }
+            _add_stored_member(
+                archive,
+                name + _CHUNK_DESCRIPTOR_SUFFIX,
+                json.dumps(descriptor, sort_keys=True, separators=(",", ":")).encode(
+                    "ascii"
+                ),
+            )
+            for index, payload in enumerate(payloads):
+                _add_stored_member(archive, f"{name}.chunk{index:05d}", payload)
     _replace_into(temp_path, path)
+    return raw_total
 
 
 def _write_bytes_atomic(path: Path, data: bytes) -> None:
@@ -275,29 +437,92 @@ def _write_bytes_atomic(path: Path, data: bytes) -> None:
     _replace_into(temp_path, path)
 
 
+def _stored_member_offset(handle, path: Path, info: zipfile.ZipInfo) -> int:
+    """Return the absolute file offset of a stored zip member's payload."""
+    handle.seek(info.header_offset)
+    header = handle.read(30)
+    if len(header) != 30 or header[:4] != b"PK\x03\x04":
+        raise ArtifactError(f"corrupt zip local header in {path.name}")
+    name_length = int.from_bytes(header[26:28], "little")
+    extra_length = int.from_bytes(header[28:30], "little")
+    return info.header_offset + 30 + name_length + extra_length
+
+
 def _npy_data_offset(path: Path, info: zipfile.ZipInfo) -> int:
     """Return the absolute file offset of a stored zip member's payload."""
     with open(path, "rb") as handle:
-        handle.seek(info.header_offset)
-        header = handle.read(30)
-        if len(header) != 30 or header[:4] != b"PK\x03\x04":
-            raise ArtifactError(f"corrupt zip local header in {path.name}")
-        name_length = int.from_bytes(header[26:28], "little")
-        extra_length = int.from_bytes(header[28:30], "little")
-        return info.header_offset + 30 + name_length + extra_length
+        return _stored_member_offset(handle, path, info)
+
+
+def _chunked_column(
+    path: Path,
+    handle,
+    column: str,
+    descriptor: Dict[str, object],
+    members: Dict[str, zipfile.ZipInfo],
+) -> ChunkedColumn:
+    """Assemble one :class:`ChunkedColumn` from its descriptor + chunk members."""
+    try:
+        dtype = np.dtype(descriptor["dtype"])
+        length = int(descriptor["length"])
+        chunk_elems = int(descriptor["chunk_elems"])
+        codec = str(descriptor["codec"])
+        shuffle = bool(descriptor["shuffle"])
+        chunk_meta = list(descriptor["chunks"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ArtifactError(
+            f"malformed chunk descriptor for column {column!r} in {path.name}: {exc}"
+        ) from exc
+    chunks = []
+    for index, (payload_size, crc) in enumerate(chunk_meta):
+        member = members.get(f"{column}.chunk{index:05d}")
+        if member is None:
+            raise ArtifactError(
+                f"{path.name} is missing chunk {index} of column {column!r}"
+            )
+        offset = _stored_member_offset(handle, path, member)
+        chunks.append((offset, int(payload_size), int(crc)))
+    return ChunkedColumn(
+        path,
+        column,
+        dtype,
+        length,
+        chunk_elems,
+        codec,
+        shuffle,
+        chunks,
+    )
 
 
 def _mmap_npz(path: Path) -> Dict[str, np.ndarray]:
-    """Open every array of an uncompressed ``.npz`` as a read-only memory map.
+    """Open every array of an artifact ``.npz`` lazily.
 
+    Raw ``.npy`` members become read-only memory maps; chunk-compressed columns
+    (a ``.chunks.json`` descriptor plus ``.chunkNNNNN`` payload members) become
+    :class:`~repro.service.chunked.ChunkedColumn` views that decode on demand.
     Falls back to an eager :func:`numpy.load` (with the writeable flag cleared)
-    for members that are compressed or otherwise un-mappable, so the loader keeps
-    working on foreign npz files — only the laziness is lost.
+    for members that are zip-deflated or otherwise un-mappable, so the loader
+    keeps working on foreign npz files — only the laziness is lost.
     """
     arrays: Dict[str, np.ndarray] = {}
+    descriptors: Dict[str, Dict[str, object]] = {}
     with zipfile.ZipFile(path, "r") as archive:
-        for info in archive.infolist():
-            name = info.filename[:-4] if info.filename.endswith(".npy") else info.filename
+        members = {info.filename: info for info in archive.infolist()}
+        for info in members.values():
+            filename = info.filename
+            if filename.endswith(_CHUNK_DESCRIPTOR_SUFFIX):
+                column = filename[: -len(_CHUNK_DESCRIPTOR_SUFFIX)]
+                try:
+                    descriptors[column] = json.loads(archive.read(info))
+                except ValueError as exc:
+                    raise ArtifactError(
+                        f"malformed chunk descriptor for column {column!r} "
+                        f"in {path.name}: {exc}"
+                    ) from exc
+                continue
+            if _CHUNK_MEMBER_RE.match(filename):
+                continue  # payload member; picked up via its descriptor below
+            name = filename[:-4] if filename.endswith(".npy") else filename
             if info.compress_type != zipfile.ZIP_STORED:
                 loaded = np.load(io.BytesIO(archive.read(info)), allow_pickle=False)
                 loaded.flags.writeable = False
@@ -320,22 +545,56 @@ def _mmap_npz(path: Path) -> Dict[str, np.ndarray]:
                 shape=shape,
                 order="F" if fortran else "C",
             )
+        if descriptors:
+            with open(path, "rb") as handle:
+                for column, descriptor in descriptors.items():
+                    arrays[column] = _chunked_column(
+                        path, handle, column, descriptor, members
+                    )
     return arrays
 
 
 def _load_npz_eager(path: Path) -> Dict[str, np.ndarray]:
-    """Load every array of an ``.npz`` into memory (used when ``mmap=False``)."""
-    with np.load(path, allow_pickle=False) as archive:
-        return {name: archive[name] for name in archive.files}
+    """Load every array of an ``.npz`` into memory (used when ``mmap=False``).
+
+    Goes through the lazy reader and materialises each column, so raw and
+    chunk-compressed members come back identically (as plain owned arrays).
+    """
+    return {name: np.array(value) for name, value in _mmap_npz(path).items()}
 
 
 # ---------------------------------------------------------------------- save / load
+def _write_pickle_atomic(
+    path: Path, payload: object, compression: Optional[Dict[str, object]]
+) -> int:
+    """Stream-pickle ``payload`` to ``path`` (optionally compressed wholesale).
+
+    The pickler writes straight into the (compressing) file sink, so the full
+    pickle byte string never exists in memory — at a million objects that is
+    the difference between one and two resident copies of the corpus during
+    save. Returns the raw (uncompressed) pickle size.
+    """
+    temp_path = path.with_name(path.name + ".tmp")
+    with open(temp_path, "wb") as handle:
+        if compression is None:
+            sink = CompressingWriter(handle, None)
+        else:
+            sink = CompressingWriter(
+                handle, str(compression["codec"]), int(compression["level"])
+            )
+        pickle.dump(payload, sink, protocol=_PICKLE_PROTOCOL)
+        sink.finish()
+    _replace_into(temp_path, path)
+    return sink.raw_bytes
+
+
 def save_bundle(
     bundle: "IndexBundle",
     path: PathLike,
     overwrite: bool = False,
     fingerprint: Optional[str] = None,
     shard: Optional[Dict[str, object]] = None,
+    compression: Optional[Dict[str, object]] = None,
 ) -> ArtifactManifest:
     """Serialise ``bundle`` into the artifact directory at ``path``.
 
@@ -353,6 +612,9 @@ def save_bundle(
         shard: Optional shard-linkage block recorded verbatim in the manifest
             (see :attr:`ArtifactManifest.shard`); only the spatial partitioner
             passes it.
+        compression: Optional chunk-compression spec from
+            :func:`compression_spec`; ``None`` (the default) writes the raw
+            mmap-everything layout.
 
     Returns:
         The manifest that was written.
@@ -377,7 +639,12 @@ def save_bundle(
     ids, xs, ys = compact.csr_node_arrays()
     indptr, indices, lengths = compact.csr_index_arrays()
     arrays = dict(zip(_NETWORK_FIELDS, (ids, xs, ys, indptr, indices, lengths)))
-    _write_npz(directory / NETWORK_NAME, arrays)
+    raw_network = _write_npz(
+        directory / NETWORK_NAME,
+        arrays,
+        compression=compression,
+        compressed_columns=_COMPRESSED_NETWORK_COLUMNS,
+    )
 
     # The columnar scoring index persists as raw arrays (mmap-able on load);
     # bundles from legacy construction paths freeze one on the fly.
@@ -386,7 +653,12 @@ def save_bundle(
         columnar = ColumnarScoringIndex.build(
             bundle.corpus, bundle.mapping, compact.coords, vsm=bundle.vsm
         )
-    _write_npz(directory / SCORING_NAME, columnar.arrays())
+    raw_scoring = _write_npz(
+        directory / SCORING_NAME,
+        columnar.arrays(),
+        compression=compression,
+        compressed_columns=_COMPRESSED_SCORING_COLUMNS,
+    )
 
     # One pickle for the whole derived-index object graph: the corpus and the
     # vector-space model are referenced by the grid and the scorer, and pickling
@@ -395,16 +667,29 @@ def save_bundle(
     # pickled (see their __getstate__), so the columns are stored only once —
     # in scoring.npz.
     payload = (bundle.corpus, bundle.mapping, bundle.vsm, bundle.grid, bundle.scorer)
-    _write_bytes_atomic(
-        directory / INDEX_NAME, pickle.dumps(payload, protocol=_PICKLE_PROTOCOL)
-    )
+    raw_index = _write_pickle_atomic(directory / INDEX_NAME, payload, compression)
 
     # The sorted term list IS the columnar term-id table (id = position).
     vocabulary = list(columnar.terms)
-    _write_bytes_atomic(
-        directory / VOCABULARY_NAME,
-        (json.dumps(vocabulary, sort_keys=True, indent=0) + "\n").encode("utf-8"),
-    )
+    vocabulary_bytes = (
+        json.dumps(vocabulary, sort_keys=True, indent=0) + "\n"
+    ).encode("utf-8")
+    _write_bytes_atomic(directory / VOCABULARY_NAME, vocabulary_bytes)
+
+    compression_block: Optional[Dict[str, object]] = None
+    if compression is not None:
+        compression_block = {
+            "codec": compression["codec"],
+            "level": compression["level"],
+            "chunk_elems": compression["chunk_elems"],
+            "shuffle": compression["shuffle"],
+            "raw_bytes": {
+                NETWORK_NAME: raw_network,
+                SCORING_NAME: raw_scoring,
+                INDEX_NAME: raw_index,
+                VOCABULARY_NAME: len(vocabulary_bytes),
+            },
+        }
 
     manifest = ArtifactManifest(
         format_version=FORMAT_VERSION,
@@ -425,6 +710,7 @@ def save_bundle(
             for name in (NETWORK_NAME, SCORING_NAME, INDEX_NAME, VOCABULARY_NAME)
         },
         shard=shard,
+        compression=compression_block,
     )
     _write_bytes_atomic(manifest_path, manifest.to_json().encode("utf-8"))
     return manifest
@@ -527,7 +813,16 @@ def load_bundle(
     )
 
     try:
-        corpus, mapping, vsm, grid, scorer = pickle.loads(index_path.read_bytes())
+        index_bytes = index_path.read_bytes()
+        if manifest.compression is not None:
+            index_bytes = decompress_bytes(
+                index_bytes,
+                str(manifest.compression.get("codec")),
+                context=INDEX_NAME,
+            )
+        corpus, mapping, vsm, grid, scorer = pickle.loads(index_bytes)
+    except ArtifactError:
+        raise
     except Exception as exc:  # unpicklable / truncated payload
         raise ArtifactError(f"cannot deserialise {INDEX_NAME}: {exc}") from exc
     # Re-attach the memmapped columns: the pickle deliberately excludes them.

@@ -212,6 +212,7 @@ def build_shards(
     halo_margin: float = DEFAULT_HALO_MARGIN,
     base_fingerprint: Optional[str] = None,
     overwrite: bool = False,
+    compression: Optional[Dict[str, object]] = None,
 ) -> ShardSetManifest:
     """Partition a built bundle into ``K`` tile shards under ``<path>/shards/``.
 
@@ -236,6 +237,9 @@ def build_shards(
         base_fingerprint: Precomputed dataset fingerprint of the base bundle
             (computed here when omitted).
         overwrite: Replace an existing shard set.
+        compression: Optional chunk-compression spec from
+            :func:`repro.service.persist.compression_spec`; shards then
+            inherit the base artifact's compressed column layout.
 
     Returns:
         The written :class:`ShardSetManifest`.
@@ -362,6 +366,7 @@ def build_shards(
                 "of": num_shards,
                 "base_fingerprint": base_fingerprint,
             },
+            compression=compression,
         )
         infos.append(
             ShardInfo(

@@ -51,7 +51,7 @@ from repro.exceptions import IndexError_
 from repro.network.subgraph import Rectangle
 from repro.objects.corpus import ObjectCorpus
 from repro.objects.mapping import NodeObjectMap
-from repro.textindex.vector_space import VectorSpaceModel, idf_weight
+from repro.textindex.vector_space import VectorSpaceModel, idf_weight, tf_weight
 
 DEFAULT_LM_SMOOTHING = 0.2
 """Smoothing λ the language-model columns are precomputed with by default."""
@@ -149,8 +149,15 @@ class ColumnarScoringIndex:
             mapping: Object → node assignment; nodes keep its iteration order.
             node_coords: ``node_id → (x, y)`` callable for the mapped nodes —
                 typically ``GraphView.coords`` of the indexed network.
-            vsm: Optional prebuilt vector-space model (built here if omitted);
-                supplies the precomputed ``wto(t)`` postings weights.
+            vsm: Optional prebuilt vector-space model supplying the precomputed
+                ``wto(t)`` postings weights. When omitted, the weights are
+                computed inline per object with the exact arithmetic of
+                :class:`VectorSpaceModel` (same float operations in the same
+                order, so the columns are bit-identical) — without ever
+                materialising the model's corpus-sized weight tables, which is
+                what keeps :meth:`IndexBundle.build_streaming
+                <repro.service.bundle.IndexBundle.build_streaming>` inside a
+                bounded memory envelope.
             lm_smoothing: λ for the precomputed language-model columns.
 
         Raises:
@@ -159,7 +166,7 @@ class ColumnarScoringIndex:
         """
         if not 0.0 < lm_smoothing < 1.0:
             raise IndexError_(f"lm smoothing must be in (0, 1), got {lm_smoothing}")
-        model = vsm if vsm is not None else VectorSpaceModel(corpus)
+        model = vsm
 
         objects = list(corpus)
         num_objects = len(objects)
@@ -199,12 +206,26 @@ class ColumnarScoringIndex:
         one_minus = 1.0 - lm_smoothing
         for row, obj in enumerate(objects):
             object_total = sum(obj.keywords.values())
+            if model is not None:
+                wto = {
+                    term: model.object_term_weight(obj.object_id, term)
+                    for term in obj.keywords
+                }
+            else:
+                # VectorSpaceModel._compute_object's arithmetic, inlined: same
+                # float operations in the same order ⇒ bit-identical weights.
+                weights = {
+                    term: tf_weight(freq) for term, freq in obj.keywords.items()
+                }
+                norm = math.sqrt(sum(w * w for w in weights.values()))
+                denominator = norm if norm > 0 else 1.0
+                wto = {term: w / denominator for term, w in weights.items()}
             for term, tf in obj.keywords.items():
                 tid = term_ids[term]
                 slot = cursor[tid]
                 cursor[tid] += 1
                 post_rows[slot] = row
-                post_tfidf[slot] = model.object_term_weight(obj.object_id, term)
+                post_tfidf[slot] = wto[term]
                 post_tf[slot] = tf
                 # Same float operations as LanguageModelScorer.score, so the
                 # precomputed logs replay its arithmetic bit for bit.

@@ -8,6 +8,7 @@ from repro.datasets.synthetic import (
     SyntheticDataset,
     assemble_dataset,
     generate_objects_on_network,
+    iter_objects_on_network,
 )
 from repro.datasets.vocab import PLACES_VOCABULARY
 from repro.exceptions import DatasetError
@@ -55,6 +56,21 @@ class TestObjectGeneration:
             generate_objects_on_network(network, 10, cluster_fraction=1.5)
         with pytest.raises(DatasetError):
             generate_objects_on_network(network, 10, cluster_fraction=0.8, hub_fraction=0.5)
+
+    def test_iterator_emits_exactly_the_collected_corpus(self, network):
+        """The streaming generator and the eager builder are the same stream."""
+        collected = generate_objects_on_network(network, 300, seed=5)
+        streamed = list(iter_objects_on_network(network, 300, seed=5))
+        assert len(streamed) == len(collected)
+        by_id = {obj.object_id: obj for obj in collected}
+        for obj in streamed:
+            twin = by_id[obj.object_id]
+            assert (obj.x, obj.y, obj.rating) == (twin.x, twin.y, twin.rating)
+            assert obj.keywords == twin.keywords
+
+    def test_iterator_validates_before_first_yield(self, network):
+        with pytest.raises(DatasetError):
+            iter_objects_on_network(network, 0)
 
 
 class TestAssembledDataset:

@@ -8,7 +8,13 @@ import pytest
 
 from repro.exceptions import DatasetError
 from repro.network.builders import grid_network
-from repro.network.io import load_dimacs, load_edge_list, save_dimacs, save_edge_list
+from repro.network.io import (
+    load_dimacs,
+    load_edge_list,
+    load_ways,
+    save_dimacs,
+    save_edge_list,
+)
 
 
 class TestDimacsRoundTrip:
@@ -86,3 +92,50 @@ class TestEdgeListRoundTrip:
     def test_missing_file_raises(self, tmp_path):
         with pytest.raises(DatasetError):
             load_edge_list(os.fspath(tmp_path / "missing.txt"))
+
+
+class TestWaysFormat:
+    def test_polylines_become_edges_with_geometric_lengths(self, tmp_path):
+        path = tmp_path / "roads.txt"
+        path.write_text(
+            "# toy extract\n"
+            "node 1 0.0 0.0\n"
+            "node 2 3.0 4.0\n"
+            "node 3 3.0 8.0\n"
+            "node 4 10.0 8.0\n"
+            "way 100 1 2 3\n"
+            "way 200 3 4\n"
+        )
+        network = load_ways(os.fspath(path))
+        assert network.num_nodes == 4
+        assert network.num_edges == 3
+        assert network.edge_length(1, 2) == pytest.approx(5.0)
+        assert network.edge_length(2, 3) == pytest.approx(4.0)
+        assert network.edge_length(3, 4) == pytest.approx(7.0)
+
+    def test_overlapping_ways_and_duplicate_points_deduplicate(self, tmp_path):
+        path = tmp_path / "roads.txt"
+        path.write_text(
+            "node 1 0.0 0.0\n"
+            "node 2 6.0 0.0\n"
+            "node 3 6.0 6.0\n"
+            "way 100 1 2 2 3\n"  # consecutive duplicate => zero-length skipped
+            "way 200 2 1\n"      # re-declares edge (1, 2)
+        )
+        network = load_ways(os.fspath(path))
+        assert network.num_edges == 2
+        assert network.edge_length(1, 2) == pytest.approx(6.0)
+
+    def test_undeclared_node_raises_with_location(self, tmp_path):
+        path = tmp_path / "roads.txt"
+        path.write_text("node 1 0.0 0.0\nway 100 1 9\n")
+        with pytest.raises(DatasetError, match=r"roads\.txt:2: .*undeclared node \(9\)"):
+            load_ways(os.fspath(path))
+
+    def test_malformed_line_and_missing_file_raise(self, tmp_path):
+        path = tmp_path / "roads.txt"
+        path.write_text("node 1 0.0 0.0\nway 100\n")  # a way needs >= 2 nodes
+        with pytest.raises(DatasetError):
+            load_ways(os.fspath(path))
+        with pytest.raises(DatasetError):
+            load_ways(os.fspath(tmp_path / "missing.txt"))

@@ -62,6 +62,49 @@ class TestInfo:
         assert main(["info", str(tmp_path / "missing")]) == 2
         assert "manifest" in capsys.readouterr().err
 
+    def test_info_reports_per_file_sizes(self, cli_artifact, capsys):
+        assert main(["info", str(cli_artifact)]) == 0
+        out = capsys.readouterr().out
+        assert "bytes scoring.npz" in out
+        assert "on-disk total" in out and "(uncompressed)" in out
+
+
+class TestCompressedBuild:
+    @pytest.fixture(scope="class")
+    def compressed_artifact(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli-compressed") / "artifact"
+        assert main(BUILD_ARGS + ["--out", str(path), "--compress", "zlib"]) == 0
+        return path
+
+    def test_manifest_records_the_codec(self, compressed_artifact):
+        manifest = read_manifest(compressed_artifact)
+        assert manifest.compression is not None
+        assert manifest.compression["codec"] == "zlib"
+        assert set(manifest.compression["raw_bytes"]) == set(manifest.checksums)
+
+    def test_info_reports_codec_and_ratio(self, compressed_artifact, capsys):
+        assert main(["info", str(compressed_artifact), "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "compression    : zlib level" in out
+        assert "x smaller" in out
+        assert "verified ok" in out
+
+    def test_compressed_artifact_answers_queries(self, compressed_artifact, capsys):
+        assert main([
+            "query", str(compressed_artifact), "--keywords", "cafe,restaurant",
+            "--delta", "700",
+        ]) == 0
+        assert "weight" in capsys.readouterr().out
+
+    def test_streamed_build_matches_eager_columns(
+        self, cli_artifact, tmp_path, capsys
+    ):
+        streamed = tmp_path / "streamed"
+        assert main(BUILD_ARGS + ["--out", str(streamed), "--stream"]) == 0
+        assert "[streamed]" in capsys.readouterr().out
+        for name in ("scoring.npz", "network.npz", "vocabulary.json"):
+            assert (streamed / name).read_bytes() == (cli_artifact / name).read_bytes()
+
 
 class TestQuery:
     @pytest.mark.parametrize("algorithm", ["app", "tgen", "greedy"])
