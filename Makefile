@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-parity test-mutation docs-check compile-check bench-service bench bench-smoke bench-json artifact-smoke shard-smoke compact-smoke
+.PHONY: test test-parity test-mutation docs-check compile-check bench-service bench bench-smoke bench-json artifact-smoke shard-smoke compact-smoke anytime-smoke
 
 # Tier-1 suite (includes the docs link/section check).
 test:
@@ -44,7 +44,7 @@ bench:
 # datasets) under a hard time cap — a quick regression gate over the whole
 # benchmark surface, including the network-backend comparison and the
 # artifact-persistence load-vs-rebuild check (bench_persist.py).
-bench-smoke: compact-smoke
+bench-smoke: compact-smoke anytime-smoke
 	REPRO_BENCH_SMOKE=1 timeout 1200 $(PYTHON) -m pytest benchmarks/ -q \
 		-o python_files="bench_*.py"
 
@@ -68,6 +68,8 @@ bench-json:
 		benchmarks/bench_generations.py -q -s -o python_files="bench_*.py"
 	REPRO_BENCH_JSON=BENCH_artifact.json $(PYTHON) -m pytest \
 		benchmarks/bench_artifact_scale.py -q -s -o python_files="bench_*.py"
+	REPRO_BENCH_JSON=BENCH_anytime.json $(PYTHON) -m pytest \
+		benchmarks/bench_anytime.py -q -s -o python_files="bench_*.py"
 
 # End-to-end artifact gate through the CLI: build a small artifact, verify and
 # reload it, and answer one query per solver (exact gets a small window so its
@@ -112,6 +114,43 @@ compact-smoke:
 	$(PYTHON) -m repro query $(COMPACT_SMOKE_DIR)/ny --keywords cafe \
 		--delta 500 --region 100,100,450,450 --algorithm exact
 	rm -rf $(COMPACT_SMOKE_DIR)
+
+# End-to-end policy gate through the CLI: build a small artifact, answer one
+# query per solver under each service policy, assert the exact policy answers
+# identically to the policy-free path (all lines but the runtime one), check
+# every sampled answer prints its 95% CI line, and run mixed-policy batches
+# through serve-batch. Leaves no files behind.
+ANYTIME_SMOKE_DIR := .anytime-smoke
+anytime-smoke:
+	rm -rf $(ANYTIME_SMOKE_DIR)
+	$(PYTHON) -m repro build --dataset ny --rows 16 --cols 16 --objects 500 \
+		--clusters 6 --seed 3 --out $(ANYTIME_SMOKE_DIR)/ny
+	for alg in app tgen greedy; do \
+		$(PYTHON) -m repro query $(ANYTIME_SMOKE_DIR)/ny \
+			--keywords cafe,restaurant --delta 800 --algorithm $$alg \
+			| grep -v runtime > $(ANYTIME_SMOKE_DIR)/plain.txt || exit 1; \
+		$(PYTHON) -m repro query $(ANYTIME_SMOKE_DIR)/ny \
+			--keywords cafe,restaurant --delta 800 --algorithm $$alg \
+			--policy exact \
+			| grep -v runtime > $(ANYTIME_SMOKE_DIR)/exact.txt || exit 1; \
+		diff $(ANYTIME_SMOKE_DIR)/plain.txt $(ANYTIME_SMOKE_DIR)/exact.txt \
+			|| exit 1; \
+		$(PYTHON) -m repro query $(ANYTIME_SMOKE_DIR)/ny \
+			--keywords cafe,restaurant --delta 800 --algorithm $$alg \
+			--policy 'anytime(60000)' || exit 1; \
+		$(PYTHON) -m repro query $(ANYTIME_SMOKE_DIR)/ny \
+			--keywords cafe,restaurant --delta 800 --algorithm $$alg \
+			--policy 'sampled(0.3)' \
+			| grep 'quality   : sampled (95% CI' || exit 1; \
+	done
+	$(PYTHON) -m repro query $(ANYTIME_SMOKE_DIR)/ny --keywords cafe \
+		--delta 500 --region 100,100,450,450 --algorithm exact \
+		--policy 'sampled(0.3)' | grep 'quality   : sampled (95% CI'
+	$(PYTHON) -m repro serve-batch $(ANYTIME_SMOKE_DIR)/ny --synthesize 6 \
+		--delta 800 --workers 2 --policy 'sampled(0.3)'
+	$(PYTHON) -m repro serve-batch $(ANYTIME_SMOKE_DIR)/ny --synthesize 6 \
+		--delta 800 --workers 2 --deadline-ms 60000
+	rm -rf $(ANYTIME_SMOKE_DIR)
 
 # End-to-end sharded-serving gate through the CLI: build an artifact with 4
 # tile shards, verify every shard sub-artifact's manifest and checksums, and

@@ -1,0 +1,257 @@
+"""Anytime tier: quality-vs-latency curves for deadlines and sampled σ_v.
+
+Not a paper figure — this benchmarks the per-query service policies
+(:mod:`repro.core.anytime` + the sampled estimator in
+:mod:`repro.textindex.columnar`). Two claims:
+
+1. **Deadlines are honoured** — a budgeted solver returns within
+   ``DEADLINE_TOLERANCE`` (1.2×) of its deadline on the bench configuration
+   (solve time; the budget attaches when the solve starts), and every
+   truncated answer's ``quality_regret_bound`` is admissible empirically:
+   the unbudgeted solver's weight never exceeds achieved + bound.
+2. **Sampling pays for itself at corpus scale** — on the large-corpus
+   configuration (400 K objects at the default scale) the sampled σ_v
+   estimator is **≥ 2× faster** than the exact aggregation at an ε whose
+   95% region CIs cover the truth **≥ 90%** of the time, measured through
+   the real serving path (greedy answers under ``sampled(ε)`` checked
+   against exact σ over the returned region). End-to-end sampled query
+   latency is recorded alongside.
+
+Smoke scale (``REPRO_BENCH_SMOKE=1``) runs tiny configurations and records
+the numbers without asserting the bars — the sampled tier's win is a claim
+about corpus scale, not about 5 K objects.
+
+Set ``REPRO_BENCH_JSON=<path>`` (the ``make bench-json`` target does) to
+write the measured curves as JSON (the committed ``BENCH_anytime.json``).
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_anytime.py -q -s
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+from typing import Dict, List
+
+from repro.core.anytime import Budget, QueryPolicy
+from repro.core.greedy import GreedySolver
+from repro.core.query import LCMSRQuery
+from repro.core.tgen import TGENSolver
+from repro.datasets.ny import build_ny_like
+from repro.engine import LCMSREngine
+from repro.evaluation.reporting import format_table
+from repro.service.bundle import IndexBundle
+
+from benchmarks.conftest import FULL_SCALE, SMOKE_SCALE
+
+SEED = 42
+DEADLINE_TOLERANCE = 1.2
+MIN_SAMPLED_SPEEDUP = 2.0
+MIN_CI_COVERAGE = 0.9
+
+if SMOKE_SCALE:
+    ANYTIME_CONFIG = {"rows": 26, "cols": 26, "objects": 2200, "clusters": 14}
+    SAMPLED_CONFIG = {"rows": 20, "cols": 20, "objects": 5000, "clusters": 10}
+    DEADLINES_MS = (50.0,)
+    EPSILONS = (0.3,)
+    COVERAGE_SEEDS = 5
+else:
+    ANYTIME_CONFIG = {"rows": 42, "cols": 42, "objects": 6000, "clusters": 28}
+    # The regime the sampled tier is built for: exact σ_v aggregation scales
+    # with the query terms' posting lists, the sampler with its fixed budget.
+    SAMPLED_CONFIG = {"rows": 120, "cols": 120, "objects": 400_000,
+                      "clusters": 80}
+    DEADLINES_MS = (25.0, 50.0, 100.0, 200.0)
+    EPSILONS = (0.5, 0.3, 0.15)
+    COVERAGE_SEEDS = 20
+
+TIMING_REPEATS = 3
+
+
+def _build_engine(config: Dict[str, int]) -> LCMSREngine:
+    dataset = build_ny_like(rows=config["rows"], cols=config["cols"],
+                            block_size=120.0, num_objects=config["objects"],
+                            num_clusters=config["clusters"], seed=SEED)
+    return LCMSREngine.from_bundle(IndexBundle.from_dataset(dataset))
+
+
+def _merge_json(extra: Dict[str, object]) -> None:
+    json_path = os.environ.get("REPRO_BENCH_JSON")
+    if not json_path:
+        return
+    payload: Dict[str, object] = {}
+    if os.path.exists(json_path):
+        try:
+            with open(json_path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            payload = {}
+    payload.setdefault("benchmark", "bench_anytime")
+    payload.setdefault("smoke", SMOKE_SCALE)
+    payload.setdefault("full", FULL_SCALE)
+    payload.update(extra)
+    with open(json_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {json_path}")
+
+
+def test_bench_anytime_deadline_curves():
+    """Budgeted Greedy/TGEN: solve time vs deadline, regret admissibility."""
+    engine = _build_engine(ANYTIME_CONFIG)
+    keywords = [t for t, _ in engine.corpus.most_frequent_terms(3)]
+    query = LCMSRQuery.create(keywords, delta=1500.0)
+    instance = engine.build_instance(query)
+
+    rows_out: List[List[object]] = []
+    records: List[Dict[str, object]] = []
+    worst_overshoot = 0.0
+    for solver in (GreedySolver(), TGENSolver()):
+        reference = solver.solve(instance)  # unbudgeted: the quality ceiling
+        for deadline_ms in DEADLINES_MS:
+            best = None
+            for _ in range(TIMING_REPEATS):  # fresh budget each run
+                budgeted = solver.solve(
+                    instance.with_budget(Budget.from_deadline_ms(deadline_ms))
+                )
+                if best is None or budgeted.runtime_seconds < best.runtime_seconds:
+                    best = budgeted
+            overshoot = best.runtime_seconds / (deadline_ms / 1000.0)
+            expired = best.stats.get("budget_expired", 0.0) == 1.0
+            if expired:
+                worst_overshoot = max(worst_overshoot, overshoot)
+            bound = best.stats["quality_regret_bound"]
+            regret = reference.weight - best.weight
+            assert regret <= bound + 1e-9, (
+                f"{solver.name} @ {deadline_ms}ms: empirical regret {regret:.4f} "
+                f"exceeds the reported bound {bound:.4f}"
+            )
+            rows_out.append([
+                solver.name, f"{deadline_ms:.0f}",
+                best.runtime_seconds * 1e3,
+                f"{overshoot:.2f}x" + (" (expired)" if expired else ""),
+                best.weight, f"{bound:.2f}",
+            ])
+            records.append({
+                "solver": solver.name,
+                "deadline_ms": deadline_ms,
+                "solve_seconds": best.runtime_seconds,
+                "overshoot": overshoot,
+                "budget_expired": expired,
+                "achieved_weight": best.weight,
+                "reference_weight": reference.weight,
+                "regret_bound": bound,
+                "empirical_regret": regret,
+            })
+
+    print()
+    print(format_table(
+        ["solver", "deadline (ms)", "solve (ms)", "overshoot", "weight", "regret bound"],
+        rows_out,
+        title=f"anytime deadlines on {ANYTIME_CONFIG['objects']} objects "
+              f"(whole network, 3 keywords)",
+    ))
+    _merge_json({"anytime": records})
+
+    if SMOKE_SCALE:
+        return
+    assert worst_overshoot <= DEADLINE_TOLERANCE, (
+        f"an expired budgeted solve overshot its deadline by "
+        f"{worst_overshoot:.2f}x (> {DEADLINE_TOLERANCE}x)"
+    )
+
+
+def test_bench_sampled_epsilon_curves():
+    """Sampled σ_v: estimator speedup and region-CI coverage per ε."""
+    engine = _build_engine(SAMPLED_CONFIG)
+    pipeline = engine.bundle.weight_pipeline()
+    keywords = [t for t, _ in engine.corpus.most_frequent_terms(3)]
+    delta = 1500.0
+
+    def best_seconds(fn, repeats=5):
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    exact_weights = pipeline.node_weights(keywords)
+    exact_seconds = best_seconds(lambda: pipeline.node_sums(keywords))
+    exact_query_seconds = best_seconds(
+        lambda: engine.query(keywords, delta, algorithm="greedy"),
+        repeats=TIMING_REPEATS,
+    )
+    # Warm the sampling frame (a one-off argsort, cached per pipeline).
+    pipeline.node_sums_sampled(keywords, epsilon=EPSILONS[0], rng=0)
+
+    rows_out: List[List[object]] = []
+    records: List[Dict[str, object]] = []
+    bar_met = False
+    for epsilon in EPSILONS:
+        sampled = pipeline.node_sums_sampled(keywords, epsilon=epsilon, rng=0)
+        sampled_seconds = best_seconds(
+            lambda: pipeline.node_sums_sampled(keywords, epsilon=epsilon, rng=0)
+        )
+        estimator_speedup = exact_seconds / sampled_seconds
+
+        # Coverage + end-to-end latency through the real serving path: greedy
+        # under sampled(ε), the answer's quality_ci checked against exact σ
+        # over the returned region.
+        covered = 0
+        query_speedups: List[float] = []
+        for seed in range(COVERAGE_SEEDS):
+            policy = QueryPolicy.sampled(epsilon, seed=seed)
+            start = time.perf_counter()
+            result = engine.query(keywords, delta, algorithm="greedy",
+                                  policy=policy)
+            seconds = time.perf_counter() - start
+            query_speedups.append(exact_query_seconds / seconds)
+            true_weight = sum(exact_weights.get(node, 0.0)
+                              for node in result.region.nodes)
+            ci = result.stats.get("quality_ci", 0.0)
+            if abs(result.weight - true_weight) <= ci + 1e-9:
+                covered += 1
+        coverage = covered / COVERAGE_SEEDS
+        median_query_speedup = statistics.median(query_speedups)
+        if estimator_speedup >= MIN_SAMPLED_SPEEDUP and coverage >= MIN_CI_COVERAGE:
+            bar_met = True
+        rows_out.append([
+            f"{epsilon}", f"{sampled.sample_size}/{sampled.frame_size}",
+            exact_seconds * 1e3, sampled_seconds * 1e3,
+            f"{estimator_speedup:.1f}x", f"{coverage:.0%}",
+            f"{median_query_speedup:.1f}x",
+        ])
+        records.append({
+            "epsilon": epsilon,
+            "sample_size": sampled.sample_size,
+            "frame_size": sampled.frame_size,
+            "exact_sums_seconds": exact_seconds,
+            "sampled_sums_seconds": sampled_seconds,
+            "estimator_speedup": estimator_speedup,
+            "region_ci_coverage": coverage,
+            "coverage_seeds": COVERAGE_SEEDS,
+            "exact_query_seconds": exact_query_seconds,
+            "median_query_speedup": median_query_speedup,
+        })
+
+    print()
+    print(format_table(
+        ["epsilon", "sample", "exact σ (ms)", "sampled σ (ms)", "speedup",
+         "CI coverage", "query speedup"],
+        rows_out,
+        title=f"sampled σ_v on {SAMPLED_CONFIG['objects']} objects "
+              f"(greedy serving path, {COVERAGE_SEEDS} seeds)",
+    ))
+    _merge_json({"sampled": records})
+
+    if SMOKE_SCALE:
+        return
+    assert bar_met, (
+        f"no ε in {EPSILONS} reached ≥{MIN_SAMPLED_SPEEDUP}x estimator speedup "
+        f"with ≥{MIN_CI_COVERAGE:.0%} region-CI coverage"
+    )

@@ -53,9 +53,12 @@ from repro.service import (
 )
 from repro.core import (
     APPSolver,
+    Budget,
     ExactSolver,
     GreedySolver,
     LCMSRQuery,
+    QueryPolicy,
+    ResultQuality,
     ProblemInstance,
     Region,
     RegionResult,
@@ -78,6 +81,9 @@ __all__ = [
     "IndexBundle",
     "QueryService",
     "QueryRequest",
+    "QueryPolicy",
+    "Budget",
+    "ResultQuality",
     "ServiceStats",
     "ShardedQueryService",
     "LCMSRQuery",

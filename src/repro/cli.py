@@ -220,15 +220,52 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------- query
+def _parse_policy(args: argparse.Namespace):
+    """Resolve the --policy/--deadline-ms/--epsilon flags to a QueryPolicy.
+
+    Returns ``None`` when no policy flag was given at all, so the exact path
+    stays the literal pre-policy code path.
+    """
+    from repro.core.anytime import QueryPolicy
+
+    if args.policy is None and args.deadline_ms is None and args.epsilon is None:
+        return None
+    text = args.policy
+    if text is None:
+        text = "anytime" if args.deadline_ms is not None else "sampled"
+    try:
+        return QueryPolicy.parse(
+            text, deadline_ms=args.deadline_ms, epsilon=args.epsilon
+        )
+    except ValueError as exc:
+        raise QueryError(str(exc)) from exc
+
+
+def _quality_line(stats) -> Optional[str]:
+    """Render the quality_* stats entries of an approximate answer, if any."""
+    from repro.core.anytime import ResultQuality
+
+    quality = ResultQuality.from_stats(stats or {})
+    if quality is None or quality.kind == "exact":
+        return None
+    if quality.kind == "anytime":
+        bound = quality.regret_bound if quality.regret_bound is not None else 0.0
+        return f"quality   : anytime (regret bound {bound:.4f})"
+    ci = quality.ci if quality.ci is not None else 0.0
+    return f"quality   : sampled (95% CI ±{ci:.4f})"
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     from repro.engine import LCMSREngine
 
     engine = LCMSREngine.from_artifact(args.artifact, pruning=args.pruning)
     keywords = _parse_keywords(args.keywords)
     region = _parse_region(args.region)
+    policy = _parse_policy(args)
     if args.k > 1:
         topk = engine.query_topk(
-            keywords, delta=args.delta, k=args.k, region=region, algorithm=args.algorithm
+            keywords, delta=args.delta, k=args.k, region=region,
+            algorithm=args.algorithm, policy=policy,
         )
         print(
             f"{len(topk)} region(s) by {topk.algorithm} "
@@ -239,18 +276,27 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 f"  #{rank}: weight={result.weight:.4f} length={result.length:.1f} "
                 f"nodes={result.region.num_nodes}"
             )
+        quality = _quality_line(topk.stats)
+        if quality is not None:
+            print(quality)
         return 0
-    result = engine.query(keywords, delta=args.delta, region=region, algorithm=args.algorithm)
+    result = engine.query(
+        keywords, delta=args.delta, region=region, algorithm=args.algorithm,
+        policy=policy,
+    )
     print(f"algorithm : {result.algorithm}")
     print(f"weight    : {result.weight:.4f}")
     print(f"length    : {result.length:.1f} (budget {args.delta:.1f})")
     print(f"nodes     : {sorted(result.region.nodes)}")
     print(f"runtime   : {result.runtime_seconds * 1000:.1f} ms")
+    quality = _quality_line(result.stats)
+    if quality is not None:
+        print(quality)
     return 0
 
 
 # ---------------------------------------------------------------------- serve-batch
-def _synthesize_requests(engine, count: int, delta: float, seed: int):
+def _synthesize_requests(engine, count: int, delta: float, seed: int, policy=None):
     """Build a deterministic keyword workload from the corpus's frequent terms."""
     from repro.service.query_service import QueryRequest
 
@@ -262,7 +308,7 @@ def _synthesize_requests(engine, count: int, delta: float, seed: int):
     for _ in range(count):
         size = rng.randint(1, min(3, len(frequent)))
         keywords = rng.sample(frequent, size)
-        requests.append(QueryRequest.create(keywords, delta=delta))
+        requests.append(QueryRequest.create(keywords, delta=delta, policy=policy))
     return requests
 
 
@@ -271,10 +317,13 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
     from repro.evaluation.reporting import format_service_stats
     from repro.service.query_service import QueryRequest, QueryService
 
+    from repro.core.anytime import QueryPolicy
+
     if args.repeat < 1:
         raise QueryError(f"--repeat must be >= 1, got {args.repeat}")
     if args.requests is None and args.synthesize < 1:
         raise QueryError(f"--synthesize must be >= 1, got {args.synthesize}")
+    default_policy = _parse_policy(args)
     engine = LCMSREngine.from_artifact(args.artifact, pruning=args.pruning)
     if args.requests is not None:
         requests = []
@@ -287,6 +336,11 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
             try:
                 raw = json.loads(line)
                 region = raw.get("region")
+                policy = (
+                    QueryPolicy.parse(raw["policy"])
+                    if raw.get("policy") is not None
+                    else default_policy
+                )
                 requests.append(
                     QueryRequest.create(
                         raw["keywords"],
@@ -294,6 +348,7 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
                         region=Rectangle(*region) if region else None,
                         algorithm=raw.get("algorithm"),
                         k=int(raw.get("k", 1)),
+                        policy=policy,
                     )
                 )
             except (ValueError, KeyError, TypeError) as exc:
@@ -303,7 +358,9 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
         if not requests:
             raise QueryError(f"no requests found in {args.requests}")
     else:
-        requests = _synthesize_requests(engine, args.synthesize, args.delta, args.seed)
+        requests = _synthesize_requests(
+            engine, args.synthesize, args.delta, args.seed, policy=default_policy
+        )
 
     # RegionResult exposes is_empty; a TopKResult is empty when it has no entries.
     def _answered(result) -> bool:
@@ -502,6 +559,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="bound-based pruning policy; results are byte-identical either "
         "way, 'off' forces the unpruned reference paths",
     )
+    query.add_argument(
+        "--policy", default=None,
+        help="service policy: 'exact' (default), 'anytime(<ms>)' or "
+        "'sampled(<eps>)'; bare 'anytime'/'sampled' take the value from "
+        "--deadline-ms/--epsilon",
+    )
+    query.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="deadline for --policy anytime (milliseconds)",
+    )
+    query.add_argument(
+        "--epsilon", type=float, default=None,
+        help="target error for --policy sampled (0 < eps < 1)",
+    )
     query.set_defaults(func=_cmd_query)
 
     serve = subparsers.add_parser(
@@ -511,7 +582,8 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--requests",
         help="JSONL file; each line {\"keywords\": [...], \"delta\": ..., "
-        "\"region\"?: [x1,y1,x2,y2], \"algorithm\"?: ..., \"k\"?: ...}",
+        "\"region\"?: [x1,y1,x2,y2], \"algorithm\"?: ..., \"k\"?: ..., "
+        "\"policy\"?: \"anytime(200)\"}",
     )
     serve.add_argument(
         "--synthesize", type=int, default=16,
@@ -530,6 +602,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--pruning", choices=("auto", "on", "off"), default="auto",
         help="bound-based pruning policy; results are byte-identical either "
         "way, 'off' forces the unpruned reference paths",
+    )
+    serve.add_argument(
+        "--policy", default=None,
+        help="service policy applied to every request that does not set its "
+        "own (JSONL lines may carry a \"policy\" field): 'exact', "
+        "'anytime(<ms>)' or 'sampled(<eps>)'",
+    )
+    serve.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="deadline for --policy anytime (milliseconds)",
+    )
+    serve.add_argument(
+        "--epsilon", type=float, default=None,
+        help="target error for --policy sampled (0 < eps < 1)",
     )
     serve.set_defaults(func=_cmd_serve_batch)
 

@@ -17,6 +17,7 @@ Algorithms
     * Top-k variants of all of the above (Section 6.2) via ``solve_topk``.
 """
 
+from repro.core.anytime import Budget, QueryPolicy, ResultQuality
 from repro.core.query import LCMSRQuery
 from repro.core.region import Region
 from repro.core.tuples import RegionTuple, TupleArray
@@ -32,6 +33,9 @@ from repro.core.kmst import QuotaTreeSolver
 from repro.core.pcst import goemans_williamson_pcst, strong_prune
 
 __all__ = [
+    "Budget",
+    "QueryPolicy",
+    "ResultQuality",
     "LCMSRQuery",
     "Region",
     "RegionTuple",

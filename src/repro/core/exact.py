@@ -31,12 +31,17 @@ import math
 import time
 from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
+from repro.core.anytime import annotate_anytime_stats
 from repro.core.instance import ProblemInstance
 from repro.core.region import Region
 from repro.core.result import RegionResult, TopKResult
 from repro.exceptions import SolverError
 from repro.network.compact import GraphView
 from repro.network.graph import edge_key
+
+
+class _BudgetExpired(Exception):
+    """Internal control-flow signal: the instance's anytime budget ran out."""
 
 
 class ExactSolver:
@@ -127,7 +132,13 @@ class ExactSolver:
             "exact_anchors_skipped": 0.0,
         }
 
+        budget = instance.budget
+
         def consider(subset: FrozenSet[int]) -> None:
+            # Cooperative deadline, polled once per enumerated subset (the
+            # check is a counter decrement except every check_interval calls).
+            if budget is not None and budget.expired():
+                raise _BudgetExpired
             stats["exact_subsets_considered"] += 1
             mst = _induced_mst(graph, subset)
             if mst is None:
@@ -148,37 +159,53 @@ class ExactSolver:
         # bounds below only dominate subset sums when no negative weight can
         # be excluded from a subset to raise it above its positive mass.
         prune = instance.pruning_enabled and all(w >= 0.0 for w in weights.values())
-        if not prune:
-            for subset in _connected_subsets(graph, nodes):
-                consider(subset)
-        else:
-            node_set = set(nodes)
-            pos = {v: max(weights.get(v, 0.0), 0.0) for v in nodes}
-            # suffix[i] bounds the weight of every subset anchored at nodes[i:]
-            # (anchored subsets only use nodes >= their anchor). Sequential
-            # right-to-left accumulation of non-negative terms makes the suffix
-            # exactly non-increasing and exactly 0.0 iff no positive weight
-            # remains — see repro.core.bounds.positive_suffix_potentials.
-            suffix = [0.0] * (len(nodes) + 1)
-            for i in range(len(nodes) - 1, -1, -1):
-                suffix[i] = suffix[i + 1] + pos[nodes[i]]
-            for i, anchor in enumerate(nodes):
-                if suffix[i] == 0.0:
-                    # Every remaining node has weight <= 0: all remaining
-                    # subsets are filtered by the weight > 0 check. Exact skip.
-                    stats["exact_anchors_skipped"] += len(nodes) - i
-                    break
-                if len(heap) >= k and suffix[i] * _BB_GUARD < heap[0]:
-                    stats["exact_anchors_skipped"] += 1
-                    continue
-                allowed = {v for v in node_set if v >= anchor}
-                initial_frontier = sorted(
-                    neighbor for neighbor in graph.neighbors(anchor) if neighbor in allowed
-                )
-                _grow_bb(
-                    graph, allowed, {anchor}, initial_frontier, set(),
-                    consider, pos, heap, k, stats,
-                )
+        # Upper bound on the best subset the truncated enumeration never
+        # considered (None while the run completes in budget).
+        open_bound: Optional[float] = None
+        try:
+            if not prune:
+                for subset in _connected_subsets(graph, nodes):
+                    consider(subset)
+            else:
+                node_set = set(nodes)
+                pos = {v: max(weights.get(v, 0.0), 0.0) for v in nodes}
+                # suffix[i] bounds the weight of every subset anchored at nodes[i:]
+                # (anchored subsets only use nodes >= their anchor). Sequential
+                # right-to-left accumulation of non-negative terms makes the suffix
+                # exactly non-increasing and exactly 0.0 iff no positive weight
+                # remains — see repro.core.bounds.positive_suffix_potentials.
+                suffix = [0.0] * (len(nodes) + 1)
+                for i in range(len(nodes) - 1, -1, -1):
+                    suffix[i] = suffix[i + 1] + pos[nodes[i]]
+                anchor_index = 0
+                try:
+                    for i, anchor in enumerate(nodes):
+                        anchor_index = i
+                        if suffix[i] == 0.0:
+                            # Every remaining node has weight <= 0: all remaining
+                            # subsets are filtered by the weight > 0 check. Exact skip.
+                            stats["exact_anchors_skipped"] += len(nodes) - i
+                            break
+                        if len(heap) >= k and suffix[i] * _BB_GUARD < heap[0]:
+                            stats["exact_anchors_skipped"] += 1
+                            continue
+                        allowed = {v for v in node_set if v >= anchor}
+                        initial_frontier = sorted(
+                            neighbor for neighbor in graph.neighbors(anchor) if neighbor in allowed
+                        )
+                        _grow_bb(
+                            graph, allowed, {anchor}, initial_frontier, set(),
+                            consider, pos, heap, k, stats,
+                        )
+                except _BudgetExpired:
+                    # Everything not yet enumerated is anchored at nodes[i:] for
+                    # the current (or a later) anchor, and suffix is
+                    # non-increasing, so suffix[anchor_index] bounds every
+                    # subset the truncated run skipped — the true B&B gap.
+                    open_bound = suffix[anchor_index]
+                    raise
+        except _BudgetExpired:
+            stats["budget_expired"] = 1.0
 
         candidates.sort(key=lambda item: (-item[0], item[1]))
         regions: List[Region] = []
@@ -192,6 +219,9 @@ class ExactSolver:
             )
             if len(regions) >= k:
                 break
+        achieved = regions[0].weight if regions else 0.0
+        gap = max(0.0, open_bound - achieved) if open_bound is not None else None
+        annotate_anytime_stats(instance, achieved, stats, regret_bound=gap)
         return regions, stats
 
 

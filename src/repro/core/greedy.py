@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
+from repro.core.anytime import annotate_anytime_stats
 from repro.core.dense import DenseInstance
 from repro.core.instance import ProblemInstance
 from repro.core.region import Region
@@ -77,12 +78,16 @@ class GreedySolver:
                 bytearray(dense.num_nodes),
                 pruning=instance.pruning_enabled,
                 stats=prune_stats,
+                budget=instance.budget,
             )
         else:
-            region = self._grow(instance, excluded=set())
+            region = self._grow(
+                instance, excluded=set(), budget=instance.budget, stats=prune_stats
+            )
         runtime = time.perf_counter() - start
         stats = {"nodes_expanded": float(region.num_nodes)} if region else {}
         stats.update(prune_stats)
+        annotate_anytime_stats(instance, region.weight if region else 0.0, stats)
         return RegionResult(region or Region.empty(), self.name, runtime, stats=stats)
 
     def solve_topk(self, instance: ProblemInstance, k: Optional[int] = None) -> TopKResult:
@@ -101,6 +106,7 @@ class GreedySolver:
         dense = instance.dense_view()
         results: List[RegionResult] = []
         prune_stats: Dict[str, float] = {}
+        budget = instance.budget
         if dense is not None:
             excluded_mask = bytearray(dense.num_nodes)
             position_of = dense.position_of()
@@ -111,28 +117,46 @@ class GreedySolver:
                     excluded_mask,
                     pruning=instance.pruning_enabled,
                     stats=prune_stats,
+                    budget=budget,
                 )
                 if region is None or region.is_empty:
                     break
                 results.append(RegionResult(region, self.name))
                 for node_id in region.nodes:
                     excluded_mask[position_of[node_id]] = 1
+                if budget is not None and budget.expired_now():
+                    prune_stats["budget_expired"] = 1.0
+                    break
         else:
             excluded: Set[int] = set()
             for _ in range(k):
-                region = self._grow(instance, excluded=excluded)
+                region = self._grow(
+                    instance, excluded=excluded, budget=budget, stats=prune_stats
+                )
                 if region is None or region.is_empty:
                     break
                 results.append(RegionResult(region, self.name))
                 excluded |= set(region.nodes)
+                if budget is not None and budget.expired_now():
+                    prune_stats["budget_expired"] = 1.0
+                    break
         runtime = time.perf_counter() - start
+        annotate_anytime_stats(
+            instance, sum(r.region.weight for r in results), prune_stats
+        )
         results = [
             RegionResult(r.region, self.name, runtime, stats=r.stats) for r in results
         ]
         return TopKResult(results, self.name, runtime, stats=prune_stats)
 
     # ------------------------------------------------------------------ expansion
-    def _grow(self, instance: ProblemInstance, excluded: Set[int]) -> Optional[Region]:
+    def _grow(
+        self,
+        instance: ProblemInstance,
+        excluded: Set[int],
+        budget=None,
+        stats: Optional[Dict[str, float]] = None,
+    ) -> Optional[Region]:
         graph = instance.graph
         weights = instance.weights
         delta = instance.query.delta
@@ -155,6 +179,12 @@ class GreedySolver:
         total_length = 0.0
 
         while True:
+            # Cooperative deadline: stop between expansion rounds and return
+            # the region grown so far (budget=None skips the check entirely).
+            if budget is not None and budget.expired():
+                if stats is not None:
+                    stats["budget_expired"] = 1.0
+                break
             best_candidate: Optional[Tuple[float, int, int, float]] = None
             for member in region_order:
                 for neighbor, edge_length in graph.neighbor_items(member):
@@ -196,6 +226,7 @@ class GreedySolver:
         excluded: bytearray,
         pruning: bool = False,
         stats: Optional[Dict[str, float]] = None,
+        budget=None,
     ) -> Optional[Region]:
         """Array-first twin of :meth:`_grow` over local node positions.
 
@@ -260,6 +291,10 @@ class GreedySolver:
 
         member = seed
         while True:
+            if budget is not None and budget.expired():
+                if stats is not None:
+                    stats["budget_expired"] = 1.0
+                break
             for slot in range(indptr[member], indptr[member + 1]):
                 position = columns[slot]
                 edge_length = lengths[slot]

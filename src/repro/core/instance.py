@@ -92,6 +92,8 @@ class ProblemInstance:
         dense: Optional[DenseInstance] = None,
         solver_backend: str = "auto",
         pruning: str = "auto",
+        budget=None,
+        sampling=None,
     ) -> None:
         if weights is None and dense is None:
             raise QueryError("a ProblemInstance needs weights, a dense substrate, or both")
@@ -111,6 +113,13 @@ class ProblemInstance:
         self.dense = dense
         self.solver_backend = solver_backend
         self.pruning = pruning
+        # Anytime tier (repro.core.anytime): an optional cooperative Budget the
+        # solvers poll in their hot loops, and optional SampledWeights metadata
+        # when σ_v came from the sampled estimator. None (the default) keeps
+        # every solver code path literally unchanged — the exact-policy
+        # byte-identity contract.
+        self.budget = budget
+        self.sampling = sampling
         self._weights = weights
         # Derived aggregates, computed once on demand (instances are immutable).
         self._sigma_max: Optional[float] = None
@@ -162,6 +171,8 @@ class ProblemInstance:
             dense=self.dense,
             solver_backend=solver_backend,
             pruning=self.pruning,
+            budget=self.budget,
+            sampling=self.sampling,
         )
         if solver_backend == "dense":
             sibling.ensure_dense()
@@ -184,6 +195,28 @@ class ProblemInstance:
             dense=self.dense,
             solver_backend=self.solver_backend,
             pruning=pruning,
+            budget=self.budget,
+            sampling=self.sampling,
+        )
+
+    def with_budget(self, budget) -> "ProblemInstance":
+        """Return a sibling instance sharing every view but carrying a solve budget.
+
+        The serving layer caches budget-free instances and attaches a fresh
+        :class:`~repro.core.anytime.Budget` per anytime query via this copy, so
+        a deadline never leaks into a cached instance (or into an exact query
+        served from the same cache entry).
+        """
+        return ProblemInstance(
+            graph=self.graph,
+            weights=self._weights,
+            query=self.query,
+            build_seconds=self.build_seconds,
+            dense=self.dense,
+            solver_backend=self.solver_backend,
+            pruning=self.pruning,
+            budget=budget,
+            sampling=self.sampling,
         )
 
     @property
@@ -266,6 +299,8 @@ def build_instance(
     pipeline: Optional[WeightPipeline] = None,
     pruning: str = "auto",
     overlay=None,
+    sample_epsilon: Optional[float] = None,
+    sample_seed: int = 0,
 ) -> ProblemInstance:
     """Build the solver input for ``query`` over ``network``.
 
@@ -298,6 +333,14 @@ def build_instance(
     frozen pipeline, and the zero-σ-mass window skip is disabled — the cell
     mass bounds describe the base generation only, so a window empty in the
     base may still hold a positive overlay contribution.
+
+    ``sample_epsilon`` (pipeline path only) switches σ_v to the sampled
+    Horvitz–Thompson estimator (:meth:`WeightPipeline.node_weights_sampled
+    <repro.textindex.columnar.WeightPipeline.node_weights_sampled>`) seeded
+    with ``sample_seed``; the instance then carries the sampling metadata
+    (per-node variances) under ``instance.sampling``. An overlay with pending
+    mutations takes precedence — the merge is exact, so the sampled tier
+    degrades to exact answers (CI 0) until the overlay is compacted.
 
     Returns:
         The :class:`ProblemInstance` restricted to ``Q.Λ``.
@@ -333,6 +376,7 @@ def build_instance(
 
     weights: Dict[int, float]
     if pipeline is not None:
+        sampling = None
         if overlay is not None and overlay.has_pending:
             # Base+delta merge: base columnar sums with superseded rows masked
             # out, overlay objects re-scored by the scalar reference
@@ -353,6 +397,15 @@ def build_instance(
             # skip drops only the σ computation, so |VQ| (and hence TGEN's θ
             # scaling) is untouched and results stay byte-identical.
             weights = {}
+        elif sample_epsilon is not None:
+            sampling = pipeline.node_weights_sampled(
+                query.keywords,
+                epsilon=sample_epsilon,
+                rng=sample_seed,
+                window=query.region,
+                node_window=query.region,
+            )
+            weights = sampling.weights
         else:
             # The pipeline restricts nodes to the window with one vectorised
             # coordinate comparison (a mapped node lies in the window graph
@@ -372,6 +425,7 @@ def build_instance(
             build_seconds=build_seconds,
             dense=dense,
             pruning=pruning,
+            sampling=sampling,
         )
 
     window_nodes = set(window_graph.node_ids())

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.core.anytime import annotate_anytime_stats
 from repro.core.dense import DenseInstance
 from repro.core.instance import ProblemInstance
 from repro.core.region import Region
@@ -86,6 +87,7 @@ class TGENSolver:
         start = time.perf_counter()
         best, _, stats = self._run(instance, collect_pool=False)
         runtime = time.perf_counter() - start
+        annotate_anytime_stats(instance, best.weight if best else 0.0, stats)
         if best is None:
             return RegionResult(Region.empty(), self.name, runtime, stats=stats)
         return RegionResult(
@@ -109,16 +111,21 @@ class TGENSolver:
         """
         start = time.perf_counter()
         k = k or instance.query.k
-        best, pool, _ = self._run(instance, collect_pool=True, pool_size=max(64, 16 * k))
+        best, pool, stats = self._run(
+            instance, collect_pool=True, pool_size=max(64, 16 * k)
+        )
         runtime = time.perf_counter() - start
+        annotate_anytime_stats(instance, best.weight if best else 0.0, stats)
+        quality = {key: value for key, value in stats.items()
+                   if key.startswith("quality_") or key == "budget_expired"}
         if best is None:
-            return TopKResult([], self.name, runtime)
+            return TopKResult([], self.name, runtime, stats=quality)
         ranked = _rank_distinct(pool, k)
         results = [
             RegionResult(t.to_region(), self.name, runtime, scaled_weight=t.scaled_weight)
             for t in ranked
         ]
-        return TopKResult(results, self.name, runtime)
+        return TopKResult(results, self.name, runtime, stats=quality)
 
     # ------------------------------------------------------------------ core loop
     def _run(
@@ -159,17 +166,27 @@ class TGENSolver:
         processed_nodes: Set[int] = set()
         visited_edges: Set[Tuple[int, int]] = set()
         visited_nodes: Set[int] = set()
+        budget = instance.budget
+        expired = False
 
         for start_node in self._start_nodes(instance):
+            if expired:
+                break
             if start_node in visited_nodes:
                 continue
             visited_nodes.add(start_node)
             queue: List[int] = [start_node]
             head = 0
-            while head < len(queue):
+            while head < len(queue) and not expired:
                 vi = queue[head]
                 head += 1
                 for vj, edge_length in self._incident_edges(instance, vi):
+                    # Cooperative deadline, polled once per edge: on expiry the
+                    # traversal stops and the incumbent best-so-far is returned.
+                    if budget is not None and budget.expired():
+                        stats["budget_expired"] = 1.0
+                        expired = True
+                        break
                     key = (vi, vj) if vi <= vj else (vj, vi)
                     if key in visited_edges:
                         continue
@@ -281,6 +298,8 @@ class TGENSolver:
         edges_skipped = 0
         tuples_generated = 0
         max_tuples = self.max_tuples_per_node
+        budget = instance.budget
+        expired = False
         prune = instance.pruning_enabled and not collect_pool
         position_of = dense.position_of() if prune else None
         # Per-position upper bound on the largest scaled key stored in the
@@ -291,12 +310,14 @@ class TGENSolver:
         # position-space equivalent of _start_nodes' sort by (-σ_v, node id).
         start_order = np.lexsort((dense.ids, -dense.sigma)).tolist()
         for start_pos in start_order:
+            if expired:
+                break
             if visited[start_pos]:
                 continue
             visited[start_pos] = 1
             queue: List[int] = [start_pos]
             head = 0
-            while head < len(queue):
+            while head < len(queue) and not expired:
                 vi = queue[head]
                 head += 1
                 vi_id = ids_list[vi]
@@ -305,6 +326,10 @@ class TGENSolver:
                 if self.edge_order == "length":
                     slots = sorted(slots, key=lambda slot: lengths[slot])
                 for slot in slots:
+                    if budget is not None and budget.expired():
+                        stats["budget_expired"] = 1.0
+                        expired = True
+                        break
                     vj = columns[slot]
                     key = vi * n + vj if vi <= vj else vj * n + vi
                     if key in visited_edges:

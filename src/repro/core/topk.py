@@ -14,22 +14,32 @@ matches the paper:
 
 from __future__ import annotations
 
-from typing import Iterable, List, Protocol, Sequence
+from typing import Iterable, List, Optional, Protocol, Sequence
 
 from repro.core.instance import ProblemInstance
 from repro.core.result import RegionResult, TopKResult
 
 
 class SupportsTopK(Protocol):
-    """Structural type of a solver that can answer top-k queries."""
+    """Structural type of a solver that can answer top-k queries.
+
+    Every solver implementation accepts ``k`` as an optional keyword defaulting
+    to ``None`` (meaning "take ``k`` from the instance's query"), so the
+    protocol declares the same shape — a protocol narrower than its
+    implementations would reject call sites that rely on the default.
+    """
 
     name: str
 
-    def solve_topk(self, instance: ProblemInstance, k: int) -> TopKResult:  # pragma: no cover
+    def solve_topk(
+        self, instance: ProblemInstance, k: Optional[int] = None
+    ) -> TopKResult:  # pragma: no cover
         ...
 
 
-def solve_topk(solver: SupportsTopK, instance: ProblemInstance, k: int) -> TopKResult:
+def solve_topk(
+    solver: SupportsTopK, instance: ProblemInstance, k: Optional[int] = None
+) -> TopKResult:
     """Dispatch a top-k query to ``solver`` (thin convenience wrapper)."""
     return solver.solve_topk(instance, k)
 

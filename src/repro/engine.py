@@ -17,6 +17,9 @@ from typing import TYPE_CHECKING, Dict, Iterable, Optional, Union
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from pathlib import Path
 
+from dataclasses import replace
+
+from repro.core.anytime import Budget, QueryPolicy, ResultQuality
 from repro.core.app import APPSolver
 from repro.core.exact import ExactSolver
 from repro.core.greedy import GreedySolver
@@ -397,7 +400,9 @@ class LCMSREngine:
         return solvers[key]
 
     # ------------------------------------------------------------------ querying
-    def build_instance(self, query: LCMSRQuery) -> ProblemInstance:
+    def build_instance(
+        self, query: LCMSRQuery, policy: Optional[QueryPolicy] = None
+    ) -> ProblemInstance:
         """Build the solver input for a query (exposed for advanced callers).
 
         The window subgraph is extracted from the bundle's frozen CSR snapshot
@@ -410,10 +415,25 @@ class LCMSREngine:
 
         Args:
             query: The LCMSR query to derive the instance from.
+            policy: Optional :class:`~repro.core.anytime.QueryPolicy`. A
+                ``sampled`` policy switches σ_v to the seeded Horvitz–Thompson
+                estimator (columnar pipeline only); ``exact`` / ``anytime`` /
+                ``None`` leave instance building untouched (the anytime budget
+                is attached at solve time, not here, so cached instances stay
+                deadline-free).
 
         Returns:
             The windowed, weighted :class:`~repro.core.instance.ProblemInstance`.
+
+        Raises:
+            QueryError: If a sampled policy is requested but the bundle has no
+                columnar pipeline to sample from.
         """
+        sample_epsilon: Optional[float] = None
+        sample_seed = 0
+        if policy is not None and policy.kind == "sampled":
+            sample_epsilon = policy.epsilon
+            sample_seed = policy.seed
         bundle = self._bundle
         graph = bundle.graph_view()
         pipeline = bundle.weight_pipeline()
@@ -433,6 +453,11 @@ class LCMSREngine:
             return build_instance(
                 graph, query, pipeline=pipeline, overlay=overlay,
                 pruning=self._pruning,
+                sample_epsilon=sample_epsilon, sample_seed=sample_seed,
+            )
+        if sample_epsilon is not None:
+            raise QueryError(
+                "sampled policy requires the bundle's columnar weight pipeline"
             )
         if self.scoring_mode is ScoringMode.TEXT_RELEVANCE:
             return build_instance(
@@ -444,12 +469,63 @@ class LCMSREngine:
             graph, query, scorer=self._bundle.scorer, pruning=self._pruning
         )
 
+    @staticmethod
+    def _apply_policy(instance: ProblemInstance,
+                      policy: Optional[QueryPolicy]) -> ProblemInstance:
+        """Attach the per-solve policy state (an anytime budget) to an instance.
+
+        Called at solve time so the deadline clock starts when solving starts,
+        and so cached/shared instances never carry a stale budget. Exact and
+        sampled policies return the instance unchanged.
+        """
+        if policy is not None and policy.kind == "anytime":
+            return instance.with_budget(Budget.from_deadline_ms(policy.deadline_ms))
+        return instance
+
+    @staticmethod
+    def _annotate_sampled(result, instance: ProblemInstance,
+                          policy: Optional[QueryPolicy]):
+        """Fold the sampled-policy ResultQuality (region CI) into result stats.
+
+        The region CI is the 95% half-width on the returned region's estimated
+        weight: member variances summed (independence approximation — see
+        docs/ARCHITECTURE.md), 0.0 when the sampler enumerated exactly or an
+        overlay forced the exact merge path.
+        """
+        if policy is None or policy.kind != "sampled":
+            return result
+        sampling = instance.sampling
+
+        def annotated(region_result):
+            ci = (
+                sampling.region_ci(region_result.region.nodes)
+                if sampling is not None
+                else 0.0
+            )
+            stats = dict(region_result.stats)
+            stats.update(ResultQuality("sampled", ci=ci).to_stats())
+            return replace(region_result, stats=stats)
+
+        if isinstance(result, TopKResult):
+            results = [annotated(r) for r in result.results]
+            stats = dict(result.stats)
+            if results:
+                stats.update(
+                    {k: v for k, v in results[0].stats.items()
+                     if k.startswith("quality_")}
+                )
+            else:
+                stats.update(ResultQuality("sampled", ci=0.0).to_stats())
+            return replace(result, results=results, stats=stats)
+        return annotated(result)
+
     def query(
         self,
         keywords: Iterable[str],
         delta: float,
         region: Optional[Rectangle] = None,
         algorithm: Optional[str] = None,
+        policy: Optional[QueryPolicy] = None,
     ) -> RegionResult:
         """Answer one LCMSR query.
 
@@ -459,17 +535,22 @@ class LCMSREngine:
             region: Region of interest ``Q.Λ``; the whole network when omitted.
             algorithm: "app", "tgen", "greedy" or "exact"; the engine default when
                 omitted.
+            policy: Per-query service level (``None`` = exact, today's
+                byte-identical path); see :class:`~repro.core.anytime.QueryPolicy`.
 
         Returns:
             The best region found (empty when nothing in the window matches).
+            Approximate policies add ``quality_*`` entries to ``stats`` (see
+            :class:`~repro.core.anytime.ResultQuality`).
 
         Raises:
             QueryError: On an empty keyword set, negative ``delta`` or unknown
                 algorithm name.
         """
         lcmsr_query = LCMSRQuery.create(keywords, delta=delta, region=region)
-        instance = self.build_instance(lcmsr_query)
-        return self.solver(algorithm).solve(instance)
+        instance = self.build_instance(lcmsr_query, policy=policy)
+        result = self.solver(algorithm).solve(self._apply_policy(instance, policy))
+        return self._annotate_sampled(result, instance, policy)
 
     def query_topk(
         self,
@@ -478,6 +559,7 @@ class LCMSREngine:
         k: int,
         region: Optional[Rectangle] = None,
         algorithm: Optional[str] = None,
+        policy: Optional[QueryPolicy] = None,
     ) -> TopKResult:
         """Answer a top-k LCMSR query (Section 6.2).
 
@@ -487,6 +569,7 @@ class LCMSREngine:
             k: Number of distinct regions to return.
             region: Region of interest ``Q.Λ``; the whole network when omitted.
             algorithm: Solver name; the engine default when omitted.
+            policy: Per-query service level (``None`` = exact).
 
         Returns:
             Up to ``k`` distinct regions in decreasing score order.
@@ -496,5 +579,7 @@ class LCMSREngine:
                 unknown algorithm name.
         """
         lcmsr_query = LCMSRQuery.create(keywords, delta=delta, region=region, k=k)
-        instance = self.build_instance(lcmsr_query)
-        return self.solver(algorithm).solve_topk(instance, k)
+        instance = self.build_instance(lcmsr_query, policy=policy)
+        result = self.solver(algorithm).solve_topk(
+            self._apply_policy(instance, policy), k)
+        return self._annotate_sampled(result, instance, policy)

@@ -87,6 +87,9 @@ def format_service_stats(stats: "ServiceStats", title: Optional[str] = None) -> 
         ("result-cache hit rate", stats.result_hit_rate),
         ("instance-cache hits", stats.instance_hits),
         ("mean latency (s)", stats.mean_latency_seconds),
+        ("p50 latency (s)", stats.p50_latency_seconds),
+        ("p95 latency (s)", stats.p95_latency_seconds),
+        ("p99 latency (s)", stats.p99_latency_seconds),
         ("total build time (s)", stats.total_build_seconds),
         ("total solve time (s)", stats.total_solve_seconds),
         ("total service time (s)", stats.total_seconds),

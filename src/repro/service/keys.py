@@ -68,12 +68,21 @@ class InstanceKey:
             built over different artifacts, across a generation swap, or under
             different pending mutations never collide. Defaults to ``""`` for
             direct constructions outside the serving path.
+        policy: The *instance-affecting* policy token. ``"exact"`` (the
+            default, so pre-existing keys keep their identity) covers both the
+            exact and the anytime policies — an anytime query solves the same
+            built instance, the deadline budget is attached at solve time —
+            while ``sampled`` policies carry their full
+            :meth:`~repro.core.anytime.QueryPolicy.cache_token` because their
+            node weights are estimates and must never be served to (or from)
+            an exact build.
     """
 
     keywords: Tuple[str, ...]
     region: Optional[RegionTupleKey]
     scoring_mode: str
     bundle_key: str = ""
+    policy: str = "exact"
 
     @staticmethod
     def create(
@@ -81,6 +90,7 @@ class InstanceKey:
         region: Optional[Rectangle],
         scoring_mode: ScoringMode,
         bundle_key: str = "",
+        policy: str = "exact",
     ) -> "InstanceKey":
         """Build the canonical instance key for a query's index probe."""
         return InstanceKey(
@@ -88,6 +98,7 @@ class InstanceKey:
             region=region_key(region),
             scoring_mode=scoring_mode.value,
             bundle_key=bundle_key,
+            policy=policy,
         )
 
 
@@ -115,6 +126,12 @@ class ResultKey:
             cross-pollinate, and a generation swap (or a new pending mutation)
             retires every earlier result. Defaults to ``""`` for direct
             constructions outside the serving path.
+        policy: The query's :meth:`~repro.core.anytime.QueryPolicy.cache_token`.
+            ``"exact"`` is the default — the token exact policies render — so
+            pre-existing exact entries keep their identity, while every
+            approximate policy (``anytime:…`` / ``sampled:…``) gets a disjoint
+            key: an exact lookup can never be answered from an approximate
+            entry, and vice versa.
     """
 
     keywords: Tuple[str, ...]
@@ -125,6 +142,7 @@ class ResultKey:
     scoring_mode: str
     solver_generation: int = 0
     bundle_key: str = ""
+    policy: str = "exact"
 
     @staticmethod
     def create(
@@ -136,6 +154,7 @@ class ResultKey:
         scoring_mode: ScoringMode,
         solver_generation: int = 0,
         bundle_key: str = "",
+        policy: str = "exact",
     ) -> "ResultKey":
         """Build the canonical result key for one query execution."""
         return ResultKey(
@@ -147,14 +166,22 @@ class ResultKey:
             scoring_mode=scoring_mode.value,
             solver_generation=int(solver_generation),
             bundle_key=bundle_key,
+            policy=policy,
         )
 
     @property
     def instance_key(self) -> InstanceKey:
-        """The instance-cache key this result's execution probes."""
+        """The instance-cache key this result's execution probes.
+
+        Anytime result keys map to the *exact* instance key: a budgeted query
+        solves the same built instance (the deadline is attached at solve
+        time), so exact and anytime queries legitimately share one build.
+        Sampled keys keep their token — estimated weights get their own entry.
+        """
         return InstanceKey(
             keywords=self.keywords,
             region=self.region,
             scoring_mode=self.scoring_mode,
             bundle_key=self.bundle_key,
+            policy=self.policy if self.policy.startswith("sampled") else "exact",
         )

@@ -39,6 +39,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.core.anytime import QueryPolicy
 from repro.core.dense import DenseInstance
 from repro.core.instance import ProblemInstance
 from repro.core.query import LCMSRQuery
@@ -68,6 +69,11 @@ class QueryRequest:
             default when ``None``.
         k: Number of regions to return; ``k > 1`` routes to the top-k variant and
             yields a :class:`~repro.core.result.TopKResult`.
+        policy: Per-query service level
+            (:class:`~repro.core.anytime.QueryPolicy`); ``None`` means exact —
+            the byte-identical legacy path. The policy rides along in cache
+            keys (via its ``cache_token``), so an exact answer is never served
+            from an approximate entry or vice versa.
     """
 
     keywords: Tuple[str, ...]
@@ -75,6 +81,7 @@ class QueryRequest:
     region: Optional[Rectangle] = None
     algorithm: Optional[str] = None
     k: int = 1
+    policy: Optional[QueryPolicy] = None
 
     @staticmethod
     def create(
@@ -83,6 +90,7 @@ class QueryRequest:
         region: Optional[Rectangle] = None,
         algorithm: Optional[str] = None,
         k: int = 1,
+        policy: Optional[QueryPolicy] = None,
     ) -> "QueryRequest":
         """Build a request from any keyword iterable."""
         return QueryRequest(
@@ -91,6 +99,7 @@ class QueryRequest:
             region=region,
             algorithm=algorithm,
             k=int(k),
+            policy=policy,
         )
 
 
@@ -258,6 +267,7 @@ class QueryService:
         # swap_bundle lands in between, the old answer gets stored under the
         # old generation (harmless, never served again) instead of the new one
         # (permanently stale).
+        policy = request.policy if request.policy is not None else QueryPolicy.exact()
         key = ResultKey.create(
             keywords=query.keywords,
             delta=request.delta,
@@ -267,6 +277,7 @@ class QueryService:
             scoring_mode=self._engine.scoring_mode,
             solver_generation=self._engine.solver_generation,
             bundle_key=self._engine.bundle_cache_key,
+            policy=policy.cache_token(),
         )
         solver = self._engine.solver(request.algorithm)
 
@@ -286,14 +297,21 @@ class QueryService:
             self._collector.record(timing)
             return cached, timing
 
-        instance, instance_hit, build_seconds = self._instance_for(key.instance_key, query)
+        instance, instance_hit, build_seconds = self._instance_for(
+            key.instance_key, query, policy
+        )
 
+        # The deadline budget is attached here, at solve time, so cached
+        # instances never carry a stale clock; sampled CI annotation reads the
+        # (budget-free) instance's sampling record afterwards.
+        solve_instance = self._engine._apply_policy(instance, policy)
         if request.k > 1:
-            result: ServiceResult = solver.solve_topk(instance, request.k)
+            result: ServiceResult = solver.solve_topk(solve_instance, request.k)
             solve_seconds = result.runtime_seconds
         else:
-            result = solver.solve(instance)
+            result = solver.solve(solve_instance)
             solve_seconds = result.runtime_seconds
+        result = self._engine._annotate_sampled(result, instance, policy)
 
         self._result_cache.put(key, result)
         # Close the insert-after-sweep race: an in-flight query that started
@@ -316,7 +334,7 @@ class QueryService:
         return result, timing
 
     def _instance_for(
-        self, key: InstanceKey, query: LCMSRQuery
+        self, key: InstanceKey, query: LCMSRQuery, policy: Optional[QueryPolicy] = None
     ) -> Tuple[ProblemInstance, bool, float]:
         """Fetch or build the problem instance for a query.
 
@@ -325,7 +343,10 @@ class QueryService:
             re-bound to the incoming query (``∆`` / ``k`` differ between queries
             that legitimately share a window graph and weights). Cache entries
             are :class:`~repro.core.dense.DenseInstance` substrates whenever the
-            builder attached one (the hot path), full instances otherwise.
+            builder attached one (the hot path), full instances otherwise —
+            except sampled builds, which are cached as full instances so the
+            :class:`~repro.textindex.columnar.SampledWeights` record (variance
+            for CI annotation) survives the round trip.
         """
         cached = self._instance_cache.get(key)
         if cached is not None:
@@ -343,15 +364,19 @@ class QueryService:
                 query=query,
                 build_seconds=0.0,
                 pruning=self._engine.pruning,
+                sampling=cached.sampling,
             )
             return rebound, True, 0.0
         # Window-less instances already share the engine's graph view (the
         # instance builder stopped copying the network), so caching them pins no
         # extra graph memory; windowed instances carry their own (compact) view.
-        instance = self._engine.build_instance(query)
-        self._instance_cache.put(
-            key, instance.dense if instance.dense is not None else instance
-        )
+        instance = self._engine.build_instance(query, policy=policy)
+        if instance.sampling is not None:
+            self._instance_cache.put(key, instance)
+        else:
+            self._instance_cache.put(
+                key, instance.dense if instance.dense is not None else instance
+            )
         return instance, False, instance.build_seconds
 
     # ------------------------------------------------------------------ batch API

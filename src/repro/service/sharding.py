@@ -48,10 +48,11 @@ import json
 import os
 import threading
 from concurrent.futures import Future, ProcessPoolExecutor
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, replace
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.core.anytime import QueryPolicy
 from repro.core.result import RegionResult, TopKResult
 from repro.exceptions import ArtifactError, QueryError
 from repro.network.compact import CompactNetwork
@@ -702,10 +703,21 @@ class ShardedQueryService:
         result_cache_size / instance_cache_size: Per-worker cache capacities.
         verify: Verify artifact checksums when workers open bundles.
         preload_base: See :attr:`WorkerConfig.preload_base`.
+        shed_threshold: Load-shedding trip point: when the number of
+            in-flight queries is ``≥ shed_threshold`` at submission time, an
+            exact-policy request is downgraded to ``degraded_policy`` (the
+            overload keeps answering, just approximately). ``None`` (default)
+            disables shedding. Requests that already carry an approximate
+            policy are never rewritten.
+        degraded_policy: The :class:`~repro.core.anytime.QueryPolicy` shed
+            requests are downgraded to; required when ``shed_threshold`` is
+            set. Shed counts are surfaced via :attr:`shed` (like
+            :attr:`rejected`).
 
     Raises:
         ArtifactError: On a missing/stale base artifact or shard set.
-        QueryError: On non-positive worker / in-flight bounds.
+        QueryError: On non-positive worker / in-flight bounds, or a
+            ``shed_threshold`` without a ``degraded_policy``.
     """
 
     def __init__(
@@ -718,6 +730,8 @@ class ShardedQueryService:
         instance_cache_size: int = 128,
         verify: bool = True,
         preload_base: bool = False,
+        shed_threshold: Optional[int] = None,
+        degraded_policy: Optional[QueryPolicy] = None,
     ) -> None:
         if num_workers is None:
             num_workers = min(4, os.cpu_count() or 2)
@@ -727,6 +741,20 @@ class ShardedQueryService:
             max_in_flight = 4 * num_workers
         if max_in_flight < 1:
             raise QueryError(f"max_in_flight must be >= 1, got {max_in_flight}")
+        if shed_threshold is not None:
+            if shed_threshold < 1:
+                raise QueryError(
+                    f"shed_threshold must be >= 1, got {shed_threshold}"
+                )
+            if degraded_policy is None:
+                raise QueryError(
+                    "shed_threshold requires a degraded_policy to downgrade to"
+                )
+            if degraded_policy.is_exact:
+                raise QueryError(
+                    "degraded_policy must be approximate (anytime/sampled); "
+                    "shedding to exact would be a no-op"
+                )
         from repro.service.generations import resolve_generation  # deferred: cycle
 
         self._root = Path(artifact)
@@ -749,6 +777,11 @@ class ShardedQueryService:
         self._collector = StatsCollector()
         self._rejected = 0
         self._closed = False
+        self._shed_threshold = shed_threshold
+        self._degraded_policy = degraded_policy
+        self._inflight_lock = threading.Lock()
+        self._in_flight = 0
+        self._shed = 0
 
     # ------------------------------------------------------------------ lifecycle
     def __enter__(self) -> "ShardedQueryService":
@@ -864,6 +897,16 @@ class ShardedQueryService:
         return self._rejected
 
     @property
+    def shed(self) -> int:
+        """Number of requests downgraded to the degraded policy under load."""
+        return self._shed
+
+    @property
+    def in_flight(self) -> int:
+        """Number of queries currently admitted and not yet completed."""
+        return self._in_flight
+
+    @property
     def router(self) -> ShardRouter:
         """The shard router (base bound columns attached lazily on first use)."""
         with self._router_lock:
@@ -929,7 +972,28 @@ class ShardedQueryService:
         self._collector.reset()
 
     # ------------------------------------------------------------------ dispatch
+    def _maybe_shed(self, request: QueryRequest) -> QueryRequest:
+        """Downgrade an exact request to the degraded policy under load.
+
+        The shedding rule reads the explicit in-flight counter *before* the
+        admission acquire: once ``in_flight ≥ shed_threshold``, newly arriving
+        exact requests are rewritten to the configured degraded policy (and
+        counted in :attr:`shed`). Requests that already carry an approximate
+        policy pass through untouched — the caller opted into a specific
+        quality and the gateway must not change it.
+        """
+        if self._shed_threshold is None or self._degraded_policy is None:
+            return request
+        if request.policy is not None and not request.policy.is_exact:
+            return request
+        with self._inflight_lock:
+            if self._in_flight < self._shed_threshold:
+                return request
+            self._shed += 1
+        return replace(request, policy=self._degraded_policy)
+
     def _dispatch(self, request: QueryRequest, blocking: bool) -> "Future":
+        request = self._maybe_shed(request)
         route = self.router.route(request.region)
         if not self._admission.acquire(blocking=blocking):
             with self._pool_lock:
@@ -938,15 +1002,21 @@ class ShardedQueryService:
                 f"admission queue full ({self._max_in_flight} queries in flight); "
                 f"retry later or raise max_in_flight"
             )
+        with self._inflight_lock:
+            self._in_flight += 1
         try:
             inner = self._executor().submit(_worker_execute, route.shard, request)
         except BaseException:
+            with self._inflight_lock:
+                self._in_flight -= 1
             self._admission.release()
             raise
         inner.add_done_callback(self._on_done)
         return inner
 
     def _on_done(self, inner: "Future") -> None:
+        with self._inflight_lock:
+            self._in_flight -= 1
         self._admission.release()
         if inner.cancelled() or inner.exception() is not None:
             return
@@ -1036,9 +1106,13 @@ class ShardedQueryService:
 
     def _dispatch_to(self, shard_index: int, request: QueryRequest) -> "Future":
         self._admission.acquire()
+        with self._inflight_lock:
+            self._in_flight += 1
         try:
             inner = self._executor().submit(_worker_execute, shard_index, request)
         except BaseException:
+            with self._inflight_lock:
+                self._in_flight -= 1
             self._admission.release()
             raise
         inner.add_done_callback(self._on_done)

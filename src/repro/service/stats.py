@@ -22,12 +22,101 @@ survive even if a future collector bounds its timing retention.
 
 from __future__ import annotations
 
+import math
 import threading
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Tuple
 
 from repro.service.cache import CacheStats
 from repro.service.keys import ResultKey
+
+LATENCY_BUCKET_MIN_SECONDS = 1e-6
+"""Lower edge of the first latency bucket (1 µs); faster queries land there too."""
+
+LATENCY_BUCKETS_PER_DECADE = 20
+"""Log-bucket resolution: 20 buckets per decade ≈ ±6% relative error."""
+
+LATENCY_NUM_BUCKETS = 9 * LATENCY_BUCKETS_PER_DECADE + 1
+"""Buckets covering 1 µs … 1000 s, plus one overflow bucket at the top."""
+
+
+@dataclass(frozen=True)
+class LatencyHistogram:
+    """Fixed log-spaced latency buckets with an associative, lossless merge.
+
+    Percentiles over concurrent workers need an aggregate that merges without
+    holding every sample: fixed bucket edges make ``h1 + h2`` a plain
+    element-wise sum, so the merge is associative and commutative — per-worker
+    histograms combine in any order to the same aggregate (unlike reservoir
+    sampling, which is neither). The price is quantisation: a reported
+    percentile is the geometric midpoint of its bucket, within ±6% of the true
+    order statistic at 20 buckets per decade.
+
+    The empty histogram is represented by an empty ``counts`` tuple (the
+    additive identity), so zero-valued :class:`StatTotals` cost no allocation.
+    """
+
+    counts: Tuple[int, ...] = ()
+
+    @staticmethod
+    def bucket_index(seconds: float) -> int:
+        """Map a latency to its bucket (clamped at both ends)."""
+        if seconds <= LATENCY_BUCKET_MIN_SECONDS:
+            return 0
+        index = int(
+            math.log10(seconds / LATENCY_BUCKET_MIN_SECONDS)
+            * LATENCY_BUCKETS_PER_DECADE
+        )
+        return min(index, LATENCY_NUM_BUCKETS - 1)
+
+    @classmethod
+    def of(cls, seconds: float) -> "LatencyHistogram":
+        """The one-sample histogram for a single latency."""
+        index = cls.bucket_index(seconds)
+        counts = [0] * (index + 1)
+        counts[index] = 1
+        return cls(counts=tuple(counts))
+
+    def __add__(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        if not self.counts:
+            return other
+        if not other.counts:
+            return self
+        longer, shorter = self.counts, other.counts
+        if len(longer) < len(shorter):
+            longer, shorter = shorter, longer
+        merged = list(longer)
+        for i, count in enumerate(shorter):
+            merged[i] += count
+        return LatencyHistogram(counts=tuple(merged))
+
+    @property
+    def total(self) -> int:
+        """Number of recorded samples."""
+        return sum(self.counts)
+
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q``-th percentile latency in seconds (0.0 when empty).
+
+        Returns the geometric midpoint of the bucket holding the rank-``q``
+        sample — an order-statistic estimate within the bucket resolution.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        total = self.total
+        if total == 0:
+            return 0.0
+        rank = max(1, math.ceil(q / 100.0 * total))
+        cumulative = 0
+        for index, count in enumerate(self.counts):
+            cumulative += count
+            if cumulative >= rank:
+                return LATENCY_BUCKET_MIN_SECONDS * 10.0 ** (
+                    (index + 0.5) / LATENCY_BUCKETS_PER_DECADE
+                )
+        return LATENCY_BUCKET_MIN_SECONDS * 10.0 ** (  # pragma: no cover
+            len(self.counts) / LATENCY_BUCKETS_PER_DECADE
+        )
 
 
 @dataclass(frozen=True)
@@ -72,6 +161,7 @@ class StatTotals:
     build_seconds: float = 0.0
     solve_seconds: float = 0.0
     total_seconds: float = 0.0
+    latency: LatencyHistogram = field(default_factory=LatencyHistogram)
 
     def __add__(self, other: "StatTotals") -> "StatTotals":
         return StatTotals(
@@ -81,6 +171,7 @@ class StatTotals:
             build_seconds=self.build_seconds + other.build_seconds,
             solve_seconds=self.solve_seconds + other.solve_seconds,
             total_seconds=self.total_seconds + other.total_seconds,
+            latency=self.latency + other.latency,
         )
 
     @classmethod
@@ -101,6 +192,7 @@ class StatTotals:
             build_seconds=timing.build_seconds,
             solve_seconds=timing.solve_seconds,
             total_seconds=timing.total_seconds,
+            latency=LatencyHistogram.of(timing.total_seconds),
         )
 
 
@@ -193,6 +285,30 @@ class ServiceStats:
     def mean_latency_seconds(self) -> float:
         """Mean end-to-end latency per query (0.0 when no queries ran)."""
         return self.total_seconds / self.queries if self.queries else 0.0
+
+    def latency_percentile(self, q: float) -> float:
+        """The ``q``-th percentile end-to-end latency in seconds (0.0 when empty).
+
+        Read from the totals' :class:`LatencyHistogram`, so merged snapshots
+        report true cross-worker percentiles (the histogram merge is lossless);
+        the value is quantised to the histogram's bucket resolution (±6%).
+        """
+        return self._totals().latency.percentile(q)
+
+    @property
+    def p50_latency_seconds(self) -> float:
+        """Median end-to-end latency."""
+        return self.latency_percentile(50.0)
+
+    @property
+    def p95_latency_seconds(self) -> float:
+        """95th-percentile end-to-end latency."""
+        return self.latency_percentile(95.0)
+
+    @property
+    def p99_latency_seconds(self) -> float:
+        """99th-percentile end-to-end latency."""
+        return self.latency_percentile(99.0)
 
     @property
     def result_hit_rate(self) -> float:

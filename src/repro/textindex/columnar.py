@@ -73,6 +73,12 @@ what the zero-mass skip tests rely on.
 BOUND_MODES: Tuple[str, ...] = ("text_relevance", "rating_if_match", "language_model")
 """Row order of the per-mode bound aggregate matrices (``cell_sigma_*``)."""
 
+CI_Z = 1.96
+"""Normal z-score of the 95% two-sided confidence intervals the sampler reports."""
+
+SAMPLE_MIN_PER_STRATUM = 8
+"""Minimum rows sampled from a non-empty stratum (or the whole stratum if smaller)."""
+
 
 class ColumnarScoringIndex:
     """Frozen columnar layout of the corpus + mapping for vectorised scoring.
@@ -813,6 +819,7 @@ class WeightPipeline:
         self._index = index
         self._mode = mode
         self._bounds = None
+        self._sample_frame: Optional[Tuple[np.ndarray, np.ndarray]] = None
         if mode is ScoringMode.LANGUAGE_MODEL:
             wanted = index.lm_smoothing if lm_smoothing is None else float(lm_smoothing)
             if wanted != index.lm_smoothing:
@@ -967,3 +974,387 @@ class WeightPipeline:
             )
             weights = {n: w for n, w in weights.items() if n in allowed}
         return weights
+
+    # ------------------------------------------------------------------ sampling
+    def _sampling_frame(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Mapped object rows grouped by bound-grid cell, as a CSR over cells.
+
+        Returns ``(cell_indptr, frame_rows)`` where ``frame_rows[indptr[c]:
+        indptr[c+1]]`` are the mapped object rows in cell ``c``, ascending. The
+        grouping is a stable argsort of the persisted ``obj_cell`` column, so it
+        is identical however the index was obtained (built fresh, loaded from an
+        artifact, or subset to a shard) — a prerequisite for the sampler's
+        bit-reproducibility guarantee. Built lazily, cached per pipeline.
+        """
+        if self._sample_frame is None:
+            index = self._index
+            mapped = np.flatnonzero(index.obj_node_pos >= 0).astype(np.int64)
+            cells = index.obj_cell[mapped]
+            order = np.argsort(cells, kind="stable")
+            frame_rows = mapped[order]
+            resolution = int(np.asarray(index.bound_meta)[0])
+            counts = np.bincount(cells, minlength=resolution * resolution)
+            indptr = np.concatenate(
+                [np.zeros(1, dtype=np.int64), np.cumsum(counts, dtype=np.int64)]
+            )
+            self._sample_frame = (indptr, frame_rows)
+        return self._sample_frame
+
+    def _scores_for_rows(self, keywords: Sequence[str], rows: np.ndarray) -> np.ndarray:
+        """Per-object scores for the given object rows only (float64).
+
+        Computes the same score definition as :meth:`object_scores` but touches
+        only ``len(rows)`` entries per query term, via binary search into the
+        ascending CSR postings rows — the sublinear kernel the sampled tier's
+        speedup comes from. Row order of the output follows ``rows``.
+        """
+        from repro.textindex.relevance import ScoringMode  # deferred: cycle guard
+
+        index = self._index
+        num_rows = len(rows)
+        indptr = index.post_indptr
+
+        def member_positions(tid: int) -> Tuple[np.ndarray, np.ndarray]:
+            """(mask of rows containing term, posting positions for those rows)."""
+            start, end = int(indptr[tid]), int(indptr[tid + 1])
+            term_rows = index.post_rows[start:end]
+            if len(term_rows) == 0:
+                return np.zeros(num_rows, dtype=bool), np.empty(0, dtype=np.int64)
+            pos = np.searchsorted(term_rows, rows)
+            found = pos < len(term_rows)
+            probe = np.where(found, pos, 0)
+            found &= term_rows[probe] == rows
+            return found, start + pos[found]
+
+        if self._mode is ScoringMode.TEXT_RELEVANCE:
+            weighted, norm = index.query_weights(keywords)
+            scores = np.zeros(num_rows, dtype=np.float64)
+            for tid, query_weight in weighted:
+                found, slots = member_positions(tid)
+                scores[found] += query_weight * index.post_tfidf[slots]
+            np.divide(scores, norm, out=scores)
+            return scores
+
+        if self._mode is ScoringMode.RATING_IF_MATCH:
+            matched = np.zeros(num_rows, dtype=bool)
+            for term in keywords:
+                tid = index.term_id(term)
+                if tid is None:
+                    continue
+                found, _ = member_positions(tid)
+                matched |= found
+            scores = np.zeros(num_rows, dtype=np.float64)
+            scores[matched] = index.obj_rating[rows[matched]]
+            return scores
+
+        scores = np.zeros(num_rows, dtype=np.float64)
+        valid_tids = [
+            tid
+            for term in keywords
+            if (tid := index.term_id(term)) is not None
+            and index.lm_log_base[tid] != 0.0
+        ]
+        if not valid_tids:
+            return scores
+        background = 0.0
+        for tid in valid_tids:
+            log_base = float(index.lm_log_base[tid])
+            column = np.full(num_rows, log_base, dtype=np.float64)
+            found, slots = member_positions(tid)
+            column[found] = index.lm_log_mixed[slots]
+            scores += column
+            background += log_base
+        scores -= background
+        np.maximum(scores, 0.0, out=scores)
+        return scores
+
+    def node_sums_sampled(
+        self,
+        keywords: Iterable[str],
+        epsilon: Optional[float] = None,
+        rate: Optional[float] = None,
+        rng=None,
+        window: Optional[Rectangle] = None,
+    ) -> "SampledNodeSums":
+        """Estimate the per-node σ sums from a seeded stratified sample.
+
+        A Horvitz–Thompson estimator over the mapped-object rows, stratified by
+        the PR 6 bound-grid cells: each cell ``h`` overlapping the query window
+        contributes ``m_h`` rows drawn without replacement from its ``n_h``
+        members by a within-stratum systematic design (a random start, then
+        every ``n_h/m_h``-th member — equal inclusion probability ``m_h/n_h``),
+        and every sampled score is inflated by the inverse inclusion
+        probability ``n_h / m_h``. The per-cell sample sizes follow the
+        ``cell_sigma_mass`` aggregates (cells that can hold more score mass get
+        more of the budget), with a floor of :data:`SAMPLE_MIN_PER_STRATUM` rows
+        per non-empty stratum. **Exactness escape hatch:** a stratum whose
+        allocation reaches its population is enumerated in full — inclusion
+        probability 1, zero variance — so small strata never pay sampling error.
+
+        Per-node uncertainty is the classic stratified CLT variance with
+        finite-population correction,
+        ``Var̂(σ̂_v) = Σ_h n_h (n_h − m_h) / m_h · s²_{h,v}``,
+        where ``s²_{h,v}`` is the within-stratum sample variance of the node's
+        per-row contributions (zeros included) — the standard SRS proxy for a
+        systematic draw, conservative when the within-cell row order is
+        uncorrelated with scores. :meth:`SampledNodeSums.ci_halfwidth`
+        turns it into a 95% half-width via :data:`CI_Z`.
+
+        Determinism: with the same ``(keywords, window, epsilon|rate, seed)``
+        the estimate is bit-identical across index save/load and across solver
+        backends — strata are visited in ascending cell id and the generator is
+        consumed identically (see :meth:`_sampling_frame`).
+
+        Args:
+            keywords: Normalised, de-duplicated query keywords.
+            epsilon: Target relative-error scale; the total sample budget is
+                ``ceil(4 / ε²)`` rows (CLT sizing), capped at the frame size.
+                Exactly one of ``epsilon`` / ``rate`` must be given.
+            rate: Direct sampling fraction in ``(0, 1]`` of the frame.
+            rng: ``numpy.random.Generator`` or an int seed (default seed 0).
+            window: Optional ``Q.Λ``; restricts the strata to the covering cell
+                span and masks sampled objects by coordinates, mirroring
+                :meth:`node_sums`'s window contract.
+        """
+        if (epsilon is None) == (rate is None):
+            raise IndexError_("exactly one of epsilon or rate must be given")
+        if epsilon is not None and not 0.0 < epsilon < 1.0:
+            raise IndexError_(f"epsilon must be in (0, 1), got {epsilon}")
+        if rate is not None and not 0.0 < rate <= 1.0:
+            raise IndexError_(f"rate must be in (0, 1], got {rate}")
+        if rng is None:
+            rng = np.random.Generator(np.random.PCG64(0))
+        elif isinstance(rng, (int, np.integer)):
+            rng = np.random.Generator(np.random.PCG64(int(rng)))
+
+        index = self._index
+        keyword_list = list(keywords)
+        num_nodes = index.num_nodes
+        sums = np.zeros(num_nodes, dtype=np.float64)
+        variance = np.zeros(num_nodes, dtype=np.float64)
+        indptr, frame_rows = self._sampling_frame()
+        num_cells = len(indptr) - 1
+        cell_sizes = np.diff(indptr)
+
+        # Strata: non-empty cells, restricted to the window's covering cell span.
+        bounds = self.bounds
+        if window is not None:
+            r0, r1, c0, c1 = bounds._cell_span(
+                window.min_x, window.min_y, window.max_x, window.max_y
+            )
+            rows_grid = np.arange(r0, r1 + 1, dtype=np.int64)
+            cols_grid = np.arange(c0, c1 + 1, dtype=np.int64)
+            span = (rows_grid[:, None] * bounds.resolution + cols_grid[None, :]).ravel()
+        else:
+            span = np.arange(num_cells, dtype=np.int64)
+        active = span[cell_sizes[span] > 0]
+        frame_size = int(cell_sizes[active].sum())
+        if frame_size == 0:
+            return SampledNodeSums(sums, variance, frame_size=0, sample_size=0)
+
+        # Budget and proportional-to-mass allocation with a per-stratum floor.
+        if rate is not None:
+            target = int(math.ceil(rate * frame_size))
+        else:
+            target = int(math.ceil(4.0 / (epsilon * epsilon)))
+        target = max(1, min(target, frame_size))
+        mass = bounds.sigma_mass.ravel()[active]
+        total_mass = float(mass.sum())
+        n_active = cell_sizes[active].astype(np.int64)
+        if total_mass > 0.0:
+            share = mass / total_mass
+        else:
+            share = n_active / float(frame_size)
+        floor = np.minimum(SAMPLE_MIN_PER_STRATUM, n_active)
+        m_active = np.minimum(
+            n_active,
+            np.maximum(floor, np.ceil(target * share).astype(np.int64)),
+        )
+
+        # Within-stratum systematic draw, vectorised across strata: one uniform
+        # offset u_h per stratum, then every (n_h/m_h)-th member — positions
+        # floor((u_h + j) · n_h/m_h), j = 0..m_h−1, are strictly increasing and
+        # < n_h, so the draw is without replacement with equal inclusion
+        # probability m_h/n_h (the HT factors below are unchanged). A stratum
+        # with m_h = n_h degenerates to positions 0..n_h−1 (u_h < 1 floors
+        # away), which is the full-enumeration escape hatch. Strata are laid
+        # out in ascending cell id and consume one generator call, so the
+        # sample is bit-reproducible for a given (seed, window) across
+        # artifact save/load and solver backends — and, unlike a per-stratum
+        # ``rng.choice`` loop, the whole draw is O(sample) numpy work.
+        offsets = rng.random(len(active))
+        segment_start = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(m_active, dtype=np.int64)]
+        )
+        sample_size = int(segment_start[-1])
+        stratum_of = np.repeat(np.arange(len(active), dtype=np.int64), m_active)
+        j = np.arange(sample_size, dtype=np.int64) - segment_start[stratum_of]
+        step = n_active.astype(np.float64) / m_active.astype(np.float64)
+        picks = np.floor((offsets[stratum_of] + j) * step[stratum_of]).astype(np.int64)
+        np.minimum(picks, (n_active - 1)[stratum_of], out=picks)
+        rows = frame_rows[indptr[active][stratum_of] + picks]
+        factors = step[stratum_of]
+        # Score in ascending row order: the estimator is order-invariant, and
+        # monotone probes into the postings CSR are markedly cache-friendlier.
+        order = np.argsort(rows, kind="stable")
+        rows = rows[order]
+        factors = factors[order]
+        n_of_cell = np.zeros(num_cells, dtype=np.int64)
+        m_of_cell = np.zeros(num_cells, dtype=np.int64)
+        n_of_cell[active] = n_active
+        m_of_cell[active] = m_active
+
+        # Score only the sampled rows; zero out rows the exact path would not
+        # select (outside the window / non-positive score). The filter is
+        # deterministic, so inclusion probabilities — and HT unbiasedness over
+        # the selected sub-population — are unchanged.
+        contributions = self._scores_for_rows(keyword_list, rows)
+        if window is not None:
+            in_window = (
+                (index.obj_x[rows] >= window.min_x)
+                & (index.obj_x[rows] <= window.max_x)
+                & (index.obj_y[rows] >= window.min_y)
+                & (index.obj_y[rows] <= window.max_y)
+            )
+            contributions = np.where(in_window, contributions, 0.0)
+        np.maximum(contributions, 0.0, out=contributions)
+
+        hit = contributions > 0.0
+        hit_rows = rows[hit]
+        hit_scores = contributions[hit]
+        node_pos = index.obj_node_pos[hit_rows].astype(np.int64)
+        np.add.at(sums, node_pos, hit_scores * factors[hit])
+
+        # Stratified variance per node: group the nonzero contributions by
+        # (cell, node); zero contributions only enter through m_h in the
+        # moment formulas, so they need not be materialised.
+        if len(hit_rows):
+            hit_cells = index.obj_cell[hit_rows].astype(np.int64)
+            keys = hit_cells * np.int64(num_nodes) + node_pos
+            uniq, inverse = np.unique(keys, return_inverse=True)
+            sum_y = np.bincount(inverse, weights=hit_scores, minlength=len(uniq))
+            sum_y2 = np.bincount(
+                inverse, weights=hit_scores * hit_scores, minlength=len(uniq)
+            )
+            group_cell = (uniq // num_nodes).astype(np.int64)
+            group_node = (uniq % num_nodes).astype(np.int64)
+            m_h = m_of_cell[group_cell].astype(np.float64)
+            n_h = n_of_cell[group_cell].astype(np.float64)
+            with np.errstate(invalid="ignore", divide="ignore"):
+                s2 = np.where(
+                    m_h > 1.0,
+                    np.maximum(sum_y2 - sum_y * sum_y / m_h, 0.0) / (m_h - 1.0),
+                    0.0,
+                )
+            fpc = n_h * (n_h - m_h) / np.maximum(m_h, 1.0)
+            np.add.at(variance, group_node, fpc * s2)
+
+        return SampledNodeSums(
+            sums, variance, frame_size=frame_size, sample_size=sample_size
+        )
+
+    def node_weights_sampled(
+        self,
+        keywords: Iterable[str],
+        epsilon: Optional[float] = None,
+        rate: Optional[float] = None,
+        rng=None,
+        window: Optional[Rectangle] = None,
+        node_window: Optional[Rectangle] = None,
+    ) -> "SampledWeights":
+        """Sampled counterpart of :meth:`node_weights`: σ̂_v dicts plus variances.
+
+        Runs :meth:`node_sums_sampled` and applies the same positivity /
+        node-window filtering as the exact path, returning the estimated weight
+        dict (position order, like the exact dict) together with the per-node
+        variance estimates for the kept nodes.
+        """
+        index = self._index
+        keyword_list = list(keywords)
+        sampled = self.node_sums_sampled(
+            keyword_list, epsilon=epsilon, rate=rate, rng=rng, window=window
+        )
+        keep = sampled.sums > 0.0
+        if node_window is not None:
+            keep &= (
+                (index.node_x >= node_window.min_x)
+                & (index.node_x <= node_window.max_x)
+                & (index.node_y >= node_window.min_y)
+                & (index.node_y <= node_window.max_y)
+            )
+        positions = np.flatnonzero(keep)
+        node_ids = index.node_ids
+        weights = {int(node_ids[pos]): float(sampled.sums[pos]) for pos in positions}
+        variance = {
+            int(node_ids[pos]): float(sampled.variance[pos]) for pos in positions
+        }
+        return SampledWeights(
+            weights=weights,
+            variance=variance,
+            frame_size=sampled.frame_size,
+            sample_size=sampled.sample_size,
+        )
+
+
+class SampledNodeSums:
+    """Dense result of :meth:`WeightPipeline.node_sums_sampled`.
+
+    Attributes:
+        sums: Horvitz–Thompson estimates σ̂ per node-table position (float64).
+        variance: Stratified CLT+FPC variance estimates, same shape.
+        frame_size: Mapped rows in the active strata (the sampled population).
+        sample_size: Rows actually drawn and scored.
+    """
+
+    __slots__ = ("sums", "variance", "frame_size", "sample_size")
+
+    def __init__(
+        self, sums: np.ndarray, variance: np.ndarray, frame_size: int, sample_size: int
+    ) -> None:
+        self.sums = sums
+        self.variance = variance
+        self.frame_size = int(frame_size)
+        self.sample_size = int(sample_size)
+
+    @property
+    def exact(self) -> bool:
+        """True when every active stratum was enumerated (zero sampling error)."""
+        return self.sample_size == self.frame_size
+
+    def ci_halfwidth(self) -> np.ndarray:
+        """95% CI half-width per node position (:data:`CI_Z` · √variance)."""
+        return CI_Z * np.sqrt(self.variance)
+
+
+class SampledWeights:
+    """Dict-shaped result of :meth:`WeightPipeline.node_weights_sampled`.
+
+    ``weights`` / ``variance`` are keyed by node id for the kept (positive,
+    node-window-filtered) nodes; ``region_variance(nodes)`` sums member
+    variances — per-node estimates are treated as independent (stratum
+    covariance between nodes is ignored; documented in docs/ARCHITECTURE.md).
+    """
+
+    __slots__ = ("weights", "variance", "frame_size", "sample_size")
+
+    def __init__(
+        self,
+        weights: Dict[int, float],
+        variance: Dict[int, float],
+        frame_size: int,
+        sample_size: int,
+    ) -> None:
+        self.weights = weights
+        self.variance = variance
+        self.frame_size = int(frame_size)
+        self.sample_size = int(sample_size)
+
+    @property
+    def exact(self) -> bool:
+        """True when the whole active frame was enumerated."""
+        return self.sample_size == self.frame_size
+
+    def region_ci(self, nodes: Iterable[int]) -> float:
+        """95% CI half-width on the summed weight of a node set."""
+        total_var = sum(self.variance.get(int(node), 0.0) for node in nodes)
+        return CI_Z * math.sqrt(total_var) if total_var > 0.0 else 0.0

@@ -138,6 +138,59 @@ class TestQuery:
         assert "region" in capsys.readouterr().err
 
 
+class TestQueryPolicyFlags:
+    def test_anytime_policy_prints_a_regret_bound(self, cli_artifact, capsys):
+        assert main([
+            "query", str(cli_artifact), "--keywords", "cafe",
+            "--delta", "700", "--policy", "anytime(60000)",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "quality   : anytime (regret bound" in out
+
+    def test_bare_deadline_implies_anytime(self, cli_artifact, capsys):
+        assert main([
+            "query", str(cli_artifact), "--keywords", "cafe",
+            "--delta", "700", "--deadline-ms", "60000",
+        ]) == 0
+        assert "quality   : anytime" in capsys.readouterr().out
+
+    def test_sampled_policy_prints_a_ci(self, cli_artifact, capsys):
+        assert main([
+            "query", str(cli_artifact), "--keywords", "cafe",
+            "--delta", "700", "--policy", "sampled(0.3)",
+        ]) == 0
+        assert "quality   : sampled (95% CI ±" in capsys.readouterr().out
+
+    def test_bare_epsilon_implies_sampled(self, cli_artifact, capsys):
+        assert main([
+            "query", str(cli_artifact), "--keywords", "cafe",
+            "--delta", "700", "--epsilon", "0.3",
+        ]) == 0
+        assert "quality   : sampled" in capsys.readouterr().out
+
+    def test_exact_policy_prints_no_quality_line(self, cli_artifact, capsys):
+        assert main([
+            "query", str(cli_artifact), "--keywords", "cafe",
+            "--delta", "700", "--policy", "exact",
+        ]) == 0
+        assert "quality" not in capsys.readouterr().out
+
+    def test_policy_applies_to_topk(self, cli_artifact, capsys):
+        assert main([
+            "query", str(cli_artifact), "--keywords", "cafe",
+            "--delta", "600", "-k", "3", "--policy", "sampled(0.3)",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "#1:" in out and "quality   : sampled" in out
+
+    def test_malformed_policy_fails_cleanly(self, cli_artifact, capsys):
+        assert main([
+            "query", str(cli_artifact), "--keywords", "cafe",
+            "--delta", "700", "--policy", "anytime",
+        ]) == 2
+        assert "anytime" in capsys.readouterr().err
+
+
 class TestServeBatch:
     def test_synthesized_batch(self, cli_artifact, capsys):
         assert main([
@@ -159,6 +212,43 @@ class TestServeBatch:
             "--workers", "2",
         ]) == 0
         assert "served 2 request(s)" in capsys.readouterr().out
+
+    def test_default_policy_applies_to_synthesized_requests(
+        self, cli_artifact, capsys
+    ):
+        assert main([
+            "serve-batch", str(cli_artifact), "--synthesize", "3",
+            "--delta", "700", "--policy", "sampled(0.3)", "--workers", "1",
+        ]) == 0
+        assert "served 3 request(s)" in capsys.readouterr().out
+
+    def test_jsonl_lines_may_carry_their_own_policy(
+        self, cli_artifact, tmp_path, capsys
+    ):
+        requests = tmp_path / "policies.jsonl"
+        requests.write_text(
+            json.dumps({"keywords": ["cafe"], "delta": 600.0,
+                        "policy": "sampled(0.3)"}) + "\n"
+            + json.dumps({"keywords": ["cafe"], "delta": 600.0,
+                          "policy": "anytime(60000)"}) + "\n"
+            + json.dumps({"keywords": ["cafe"], "delta": 600.0}) + "\n"
+        )
+        assert main([
+            "serve-batch", str(cli_artifact), "--requests", str(requests),
+            "--workers", "1",
+        ]) == 0
+        assert "served 3 request(s)" in capsys.readouterr().out
+
+    def test_malformed_jsonl_policy_fails_cleanly(
+        self, cli_artifact, tmp_path, capsys
+    ):
+        requests = tmp_path / "bad-policy.jsonl"
+        requests.write_text(json.dumps(
+            {"keywords": ["cafe"], "delta": 600.0, "policy": "wat"}) + "\n")
+        assert main([
+            "serve-batch", str(cli_artifact), "--requests", str(requests),
+        ]) == 2
+        assert "line 1" in capsys.readouterr().err
 
     def test_non_positive_repeat_and_synthesize_fail_cleanly(self, cli_artifact, capsys):
         assert main(["serve-batch", str(cli_artifact), "--repeat", "0"]) == 2
